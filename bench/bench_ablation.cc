@@ -1,0 +1,81 @@
+// Ablation bench for the design choices DESIGN.md calls out (paper §5.2, §7):
+//   - constrained execution (pushdown) on/off,
+//   - pruning-score relationship ordering on/off,
+//   - time/space storage partitioning on/off,
+//   - secondary indexes on/off,
+//   - day-parallel data-query execution 1 vs 2 workers.
+// Measured over the 26 case-study queries (total investigation time).
+#include "bench/bench_common.h"
+
+using namespace aiql;
+using namespace aiql::bench;
+
+namespace {
+
+double TotalMs(AiqlEngine& engine, const std::vector<QuerySpec>& queries) {
+  double total = 0;
+  for (const QuerySpec& spec : queries) {
+    Timing t = RunQuery(engine, spec.text);
+    total += t.ms;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv();
+  std::printf("=== Ablation: AIQL optimizations (26 case-study queries) ===\n");
+  World world = BuildWorld(scale, /*with_baseline=*/false);
+  std::vector<QuerySpec> queries = world.workload->CaseStudyQueries();
+  std::printf("events: %zu\n\n", world.optimized->num_events());
+
+  // Alternative storage layouts over the identical event stream.
+  Database no_partitions{DatabaseOptions{.scheme = PartitionScheme::kNone}};
+  {
+    Workload w(world.config, &no_partitions);
+    w.Build();
+    no_partitions.Finalize();
+  }
+  Database no_indexes{DatabaseOptions{.build_indexes = false}};
+  {
+    Workload w(world.config, &no_indexes);
+    w.Build();
+    no_indexes.Finalize();
+  }
+
+  struct Config {
+    const char* name;
+    const Database* db;
+    EngineOptions options;
+  };
+  int64_t budget = BaselineBudgetMs();
+  std::vector<Config> configs = {
+      {"full (pushdown+ordering+partitions+indexes, 2 workers)", world.optimized.get(),
+       {.parallelism = 2, .time_budget_ms = budget}},
+      {"single worker", world.optimized.get(), {.parallelism = 1, .time_budget_ms = budget}},
+      {"no pushdown", world.optimized.get(),
+       {.parallelism = 2, .pushdown = false, .time_budget_ms = budget}},
+      {"no relationship ordering", world.optimized.get(),
+       {.parallelism = 2, .ordering = false, .time_budget_ms = budget}},
+      {"no pushdown + no ordering", world.optimized.get(),
+       {.parallelism = 2, .pushdown = false, .ordering = false, .time_budget_ms = budget}},
+      {"no storage partitioning", &no_partitions,
+       {.parallelism = 2, .time_budget_ms = budget}},
+      {"no secondary indexes", &no_indexes, {.parallelism = 2, .time_budget_ms = budget}},
+  };
+
+  std::printf("%-55s %12s %9s\n", "configuration", "total (ms)", "vs full");
+  double full_ms = 0;
+  for (const Config& config : configs) {
+    AiqlEngine engine(config.db, config.options);
+    double ms = TotalMs(engine, queries);
+    if (full_ms == 0) {
+      full_ms = ms;
+    }
+    std::printf("%-55s %12.1f %8.2fx\n", config.name, ms, ms / std::max(full_ms, 0.01));
+  }
+  std::printf("\n(shape target: every ablated configuration is slower than full;\n"
+              " pushdown and partitioning carry the largest shares)\n");
+  return 0;
+}

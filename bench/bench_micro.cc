@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark): ingest rate, LIKE matching, entity
+// index lookup, partition time-slice scans, hash vs nested-loop joins.
+// These quantify the primitive costs behind the macro benches.
+#include <benchmark/benchmark.h>
+
+#include "src/core/tuple_set.h"
+#include "src/storage/database.h"
+#include "src/util/rng.h"
+#include "src/util/string_utils.h"
+
+namespace aiql {
+namespace {
+
+void BM_IngestEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    uint32_t p = db.catalog().InternProcess(1, 1, "/usr/bin/x");
+    uint32_t f = db.catalog().InternFile(1, "/data/file");
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      db.RecordEvent(1, p, Operation::kRead, EntityType::kFile, f, i * 100);
+    }
+    db.Finalize();
+    benchmark::DoNotOptimize(db.num_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IngestEvents)->Arg(10000)->Arg(100000);
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "C:\\Program Files\\Common Files\\System\\wab32res.dll";
+  std::string pattern = "%common%wab32%.dll";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch(text, pattern));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    Rng rng(11);
+    std::vector<uint32_t> procs, files;
+    for (int i = 0; i < 64; ++i) {
+      procs.push_back(d->catalog().InternProcess(1, 1000 + i, "/bin/p" + std::to_string(i)));
+    }
+    for (int i = 0; i < 512; ++i) {
+      files.push_back(d->catalog().InternFile(1, "/data/f" + std::to_string(i)));
+    }
+    for (int i = 0; i < 200000; ++i) {
+      d->RecordEvent(1, procs[rng.Below(procs.size())], Operation::kRead, EntityType::kFile,
+                     files[rng.Below(files.size())], rng.Below(3 * kDayMs));
+    }
+    d->Finalize();
+    return d;
+  }();
+  return db;
+}
+
+void BM_EntityIndexLookup(benchmark::State& state) {
+  Database* db = SharedDb();
+  AttrPredicate pred;
+  pred.attr = "exe_name";
+  pred.op = CmpOp::kEq;
+  pred.values = {Value("/bin/p7")};
+  PredExpr expr = PredExpr::Leaf(pred);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->FindEntities(EntityType::kProcess, expr, std::nullopt));
+  }
+}
+BENCHMARK(BM_EntityIndexLookup);
+
+void BM_TimeSliceScan(benchmark::State& state) {
+  Database* db = SharedDb();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  q.time = TimeRange{kDayMs, kDayMs + state.range(0) * kMinuteMs};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->ExecuteQuery(q));
+  }
+}
+BENCHMARK(BM_TimeSliceScan)->Arg(10)->Arg(60)->Arg(600);
+
+void BM_PostingListFetch(benchmark::State& state) {
+  Database* db = SharedDb();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  AttrPredicate pred;
+  pred.attr = "exe_name";
+  pred.op = CmpOp::kEq;
+  pred.values = {Value("/bin/p3")};
+  q.subject_pred = PredExpr::Leaf(pred);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->ExecuteQuery(q));
+  }
+}
+BENCHMARK(BM_PostingListFetch);
+
+void BM_Join(benchmark::State& state) {
+  Database* db = SharedDb();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  q.time = TimeRange{0, kDayMs / 4};
+  std::vector<const Event*> events = db->ExecuteQuery(q);
+  size_t half = events.size() / 2;
+  std::vector<const Event*> left(events.begin(), events.begin() + half);
+  std::vector<const Event*> right(events.begin() + half, events.end());
+  TupleSet lt = TupleSet::FromMatches(0, left);
+  TupleSet rt = TupleSet::FromMatches(1, right);
+  Relationship rel;
+  if (state.range(0) == 0) {  // equality hash join on subject id
+    rel.kind = Relationship::Kind::kAttr;
+    rel.attr = AttrRelation{0, RefSide::kSubject, "id", CmpOp::kEq, 1, RefSide::kSubject, "id",
+                            false};
+  } else {  // temporal join
+    rel.kind = Relationship::Kind::kTemp;
+    rel.temp = TempRelation{0, 1, ast::TempOrder::kBefore, std::nullopt, DurationMs{kMinuteMs}};
+  }
+  for (auto _ : state) {
+    BudgetGuard guard;
+    TupleJoiner joiner(db->catalog(), &guard, JoinStrategy{});
+    auto out = joiner.Join(lt, rt, {rel});
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_Join)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace aiql
+
+BENCHMARK_MAIN();

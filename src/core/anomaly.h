@@ -1,0 +1,35 @@
+// Anomaly (sliding-window) query execution — paper §4.3 and §5.1.
+//
+// The single event pattern is fetched once; windows of length `window`
+// advance by `step` across the query's time range. Per window and per group
+// (the group-by key), aggregates are computed and recorded as *history
+// states*; the having clause can reference the current value (`freq`),
+// historical values (`freq[1]` = one window back), and the moving-average
+// builtins SMA/CMA/WMA/EWMA over the state series.
+#ifndef AIQL_SRC_CORE_ANOMALY_H_
+#define AIQL_SRC_CORE_ANOMALY_H_
+
+#include "src/core/executor.h"
+#include "src/core/result_table.h"
+#include "src/lang/query_context.h"
+#include "src/storage/event_store.h"
+
+namespace aiql {
+
+// Moving averages over a value series (most recent value last). `n` is the
+// lookback for SMA/WMA; `alpha` the smoothing factor for EWMA.
+double Sma(const std::vector<double>& series, size_t n);
+double Cma(const std::vector<double>& series);
+double Wma(const std::vector<double>& series, size_t n);
+double Ewma(const std::vector<double>& series, double alpha);
+
+// Executes an anomaly query context. The result table carries a leading
+// "window" column (window start, formatted) followed by the return items;
+// one row per (window, group) passing the having filter.
+Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx,
+                                   const ExecOptions& options, ThreadPool* pool,
+                                   ExecStats* stats);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_ANOMALY_H_

@@ -1,0 +1,42 @@
+#include "src/core/engine.h"
+
+namespace aiql {
+
+AiqlEngine::AiqlEngine(const EventStore* db, EngineOptions options)
+    : db_(db), options_(options) {
+  if (options_.parallelism > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
+  }
+}
+
+AiqlEngine::~AiqlEngine() = default;
+
+Result<ResultTable> AiqlEngine::Execute(const std::string& text) {
+  Result<QueryContext> ctx = CompileQuery(text);
+  if (!ctx.ok()) {
+    return Result<ResultTable>(ctx.status());
+  }
+  return ExecuteContext(ctx.value());
+}
+
+Result<ResultTable> AiqlEngine::ExecuteContext(const QueryContext& ctx) {
+  stats_ = ExecStats{};
+  ExecOptions exec;
+  exec.scheduler = options_.scheduler;
+  exec.pushdown = options_.pushdown;
+  exec.ordering = options_.ordering;
+  exec.parallelism = options_.parallelism;
+  exec.time_budget_ms = options_.time_budget_ms;
+  exec.max_join_work = options_.max_join_work;
+
+  if (ctx.kind == ast::QueryKind::kAnomaly) {
+    return ExecuteAnomaly(*db_, ctx, exec, pool_.get(), &stats_);
+  }
+  Result<TupleSet> tuples = ExecuteMultievent(*db_, ctx, exec, pool_.get(), &stats_);
+  if (!tuples.ok()) {
+    return Result<ResultTable>(tuples.status());
+  }
+  return ProjectResults(ctx, tuples.value(), db_->catalog());
+}
+
+}  // namespace aiql

@@ -1,0 +1,70 @@
+// AiqlEngine: the public facade of the AIQL system.
+//
+// Wires together the parser, inference, scheduling executors, anomaly
+// executor, and projector over a finalized Database (paper Fig 2).
+//
+// Typical use:
+//   Database db;                       // ingest + Finalize()
+//   AiqlEngine engine(&db);
+//   auto result = engine.Execute(R"(
+//       agentid = 1 (at "01/01/2017")
+//       proc p1 start proc p2["%osql%"] as evt1
+//       ...
+//       return p1, p2)");
+//   if (result.ok()) std::cout << result.value().ToString();
+#ifndef AIQL_SRC_CORE_ENGINE_H_
+#define AIQL_SRC_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/anomaly.h"
+#include "src/core/executor.h"
+#include "src/core/projector.h"
+#include "src/core/result_table.h"
+#include "src/lang/query_context.h"
+#include "src/storage/event_store.h"
+#include "src/util/thread_pool.h"
+
+namespace aiql {
+
+struct EngineOptions {
+  SchedulerKind scheduler = SchedulerKind::kRelationship;
+  // Worker threads for day-parallel data-query execution; 1 = sequential.
+  size_t parallelism = 1;
+  // Ablation knobs (relationship scheduler only).
+  bool pushdown = true;
+  bool ordering = true;
+  // Execution budget; 0 = unlimited.
+  int64_t time_budget_ms = 0;
+  size_t max_join_work = 0;
+};
+
+class AiqlEngine {
+ public:
+  explicit AiqlEngine(const EventStore* db, EngineOptions options = {});
+  ~AiqlEngine();
+
+  AiqlEngine(const AiqlEngine&) = delete;
+  AiqlEngine& operator=(const AiqlEngine&) = delete;
+
+  // Parses, resolves, and executes an AIQL query.
+  Result<ResultTable> Execute(const std::string& text);
+
+  // Executes an already-compiled query context.
+  Result<ResultTable> ExecuteContext(const QueryContext& ctx);
+
+  // Statistics of the most recent ExecuteContext call.
+  const ExecStats& last_stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const EventStore* db_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // created when parallelism > 1
+  ExecStats stats_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_ENGINE_H_

@@ -1,0 +1,76 @@
+// Relationship checks and expression evaluation over matched events.
+#ifndef AIQL_SRC_CORE_EVAL_H_
+#define AIQL_SRC_CORE_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lang/query_context.h"
+#include "src/storage/event_store.h"
+
+namespace aiql {
+
+// Value of a pattern endpoint (subject/object entity attribute or event
+// attribute) for a concrete matched event.
+Value EndpointValue(const Event& e, RefSide side, const std::string& attr,
+                    const EntityCatalog& catalog);
+
+// True if the two concrete events satisfy the relationship. `le` matches the
+// relationship's left pattern, `re` the right one.
+bool CheckAttrRel(const AttrRelation& rel, const Event& le, const Event& re,
+                  const EntityCatalog& catalog);
+bool CheckTempRel(const TempRelation& rel, const Event& le, const Event& re);
+
+// Unified relationship handle used by the schedulers.
+struct Relationship {
+  enum class Kind : uint8_t { kAttr, kTemp };
+  Kind kind = Kind::kAttr;
+  AttrRelation attr;
+  TempRelation temp;
+
+  size_t left() const { return kind == Kind::kAttr ? attr.left_pattern : temp.left_pattern; }
+  size_t right() const { return kind == Kind::kAttr ? attr.right_pattern : temp.right_pattern; }
+  bool Check(const Event& le, const Event& re, const EntityCatalog& catalog) const {
+    return kind == Kind::kAttr ? CheckAttrRel(attr, le, re, catalog) : CheckTempRel(temp, le, re);
+  }
+};
+
+// Collects all inter-pattern relationships of a query context (intra-pattern
+// attribute relationships are applied as per-pattern filters instead).
+std::vector<Relationship> InterPatternRelationships(const QueryContext& ctx);
+
+// Alias environment for having/sort expressions: alias name -> value, plus
+// history lookups alias[k] for anomaly queries.
+struct AliasEnv {
+  std::function<std::optional<Value>(const std::string&)> lookup;
+  std::function<std::optional<Value>(const std::string&, int)> history;  // alias, k back
+};
+
+// Row accessor: evaluates resolved refs against a joined tuple row.
+class RowAccessor {
+ public:
+  // `row[i]` is the matched event of pattern `pattern_order[i]`.
+  RowAccessor(const std::vector<const Event*>& row, const std::vector<size_t>& pattern_order,
+              const EntityCatalog& catalog);
+
+  std::optional<Value> Get(const ResolvedRef& ref) const;
+
+ private:
+  const std::vector<const Event*>& row_;
+  std::vector<int> pattern_to_col_;  // pattern index -> column in row_
+  const EntityCatalog& catalog_;
+};
+
+// Evaluates a (resolved) expression. Aggregate/moving-average calls are NOT
+// handled here — the projector computes those and exposes them via `env` as
+// aliases. Returns nullopt on unresolved references.
+std::optional<Value> EvalScalarExpr(const Expr& e, const RowAccessor* row, const AliasEnv* env);
+
+// Boolean coercion: numbers != 0, non-empty strings are true.
+bool ValueTruthy(const Value& v);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_EVAL_H_

@@ -1,0 +1,308 @@
+#include "src/core/projector.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aiql {
+namespace {
+
+void CollectAggsFromExpr(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.IsAggregateCall()) {
+    // Aggregates do not nest; record and stop descending.
+    out->push_back(&e);
+    return;
+  }
+  for (const Expr& c : e.children) {
+    CollectAggsFromExpr(c, out);
+  }
+}
+
+bool ExprHasAggregate(const Expr& e) {
+  return e.Any([](const Expr& x) { return x.IsAggregateCall(); });
+}
+
+std::string GroupKeyString(const std::vector<Value>& key) {
+  std::string out;
+  for (const Value& v : key) {
+    out += v.ToString();
+    out.push_back('\x1f');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<const Expr*> CollectAggregateCalls(const QueryContext& ctx) {
+  std::vector<const Expr*> calls;
+  for (const OutputItem& item : ctx.items) {
+    CollectAggsFromExpr(item.expr, &calls);
+  }
+  if (ctx.having.has_value()) {
+    CollectAggsFromExpr(*ctx.having, &calls);
+  }
+  // Dedupe by rendered name.
+  std::vector<const Expr*> out;
+  std::unordered_set<std::string> seen;
+  for (const Expr* c : calls) {
+    if (seen.insert(c->ToString()).second) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Value ComputeAggregate(const Expr& call, const std::vector<std::vector<const Event*>>& rows,
+                       const std::vector<size_t>& pattern_order, const EntityCatalog& catalog) {
+  const std::string& func = call.func;
+  if (func == "count" && call.children.empty()) {
+    return Value(static_cast<int64_t>(rows.size()));
+  }
+  if (func == "count_distinct" || func == "count") {
+    std::set<std::string> distinct;
+    for (const auto& row : rows) {
+      RowAccessor acc(row, pattern_order, catalog);
+      std::optional<Value> v =
+          call.children.empty() ? std::nullopt : EvalScalarExpr(call.children[0], &acc, nullptr);
+      if (v.has_value()) {
+        distinct.insert(v->ToString());
+      }
+    }
+    if (func == "count_distinct") {
+      return Value(static_cast<int64_t>(distinct.size()));
+    }
+    // count(x): counts rows where x is non-null.
+    int64_t n = 0;
+    for (const auto& row : rows) {
+      RowAccessor acc(row, pattern_order, catalog);
+      if (EvalScalarExpr(call.children[0], &acc, nullptr).has_value()) {
+        ++n;
+      }
+    }
+    return Value(n);
+  }
+  // Numeric aggregates.
+  double sum = 0;
+  double mn = 0, mx = 0;
+  size_t n = 0;
+  for (const auto& row : rows) {
+    RowAccessor acc(row, pattern_order, catalog);
+    if (call.children.empty()) {
+      continue;
+    }
+    std::optional<Value> v = EvalScalarExpr(call.children[0], &acc, nullptr);
+    if (!v.has_value()) {
+      continue;
+    }
+    double x = v->as_double();
+    if (n == 0) {
+      mn = mx = x;
+    } else {
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    sum += x;
+    ++n;
+  }
+  if (func == "sum") {
+    return Value(sum);
+  }
+  if (func == "avg") {
+    return Value(n == 0 ? 0.0 : sum / static_cast<double>(n));
+  }
+  if (func == "min") {
+    return Value(mn);
+  }
+  if (func == "max") {
+    return Value(mx);
+  }
+  return Value();
+}
+
+Status SortAndLimit(const QueryContext& ctx, ResultTable* table) {
+  if (!ctx.sort_by.empty()) {
+    struct Key {
+      int col;
+      bool asc;
+    };
+    std::vector<Key> keys;
+    for (const ast::SortKey& k : ctx.sort_by) {
+      std::string name = k.expr.kind == Expr::Kind::kVarRef && k.expr.attr.empty()
+                             ? k.expr.name
+                             : k.expr.ToString();
+      int col = table->ColumnIndex(name);
+      if (col < 0) {
+        col = table->ColumnIndex(k.expr.ToString());
+      }
+      if (col < 0) {
+        return Status::Error("sort key '" + name + "' is not a returned column");
+      }
+      keys.push_back({col, k.ascending});
+    }
+    std::stable_sort(table->mutable_rows()->begin(), table->mutable_rows()->end(),
+                     [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+                       for (const Key& k : keys) {
+                         const Value& va = a[k.col];
+                         const Value& vb = b[k.col];
+                         if (va < vb) {
+                           return k.asc;
+                         }
+                         if (vb < va) {
+                           return !k.asc;
+                         }
+                       }
+                       return false;
+                     });
+  } else {
+    table->SortRowsLexicographically();
+  }
+  if (ctx.top.has_value() && *ctx.top >= 0 &&
+      table->num_rows() > static_cast<size_t>(*ctx.top)) {
+    table->mutable_rows()->resize(static_cast<size_t>(*ctx.top));
+  }
+  return Status::Ok();
+}
+
+Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tuples,
+                                   const EntityCatalog& catalog) {
+  const std::vector<size_t>& pattern_order = tuples.patterns();
+
+  bool aggregated = !ctx.group_by.empty();
+  for (const OutputItem& item : ctx.items) {
+    aggregated = aggregated || ExprHasAggregate(item.expr);
+  }
+
+  std::vector<std::string> columns;
+  for (const OutputItem& item : ctx.items) {
+    columns.push_back(item.name);
+  }
+  ResultTable table(columns);
+
+  if (!aggregated) {
+    // Row-wise projection.
+    for (const auto& row : tuples.rows()) {
+      RowAccessor acc(row, pattern_order, catalog);
+      std::vector<Value> out_row;
+      out_row.reserve(ctx.items.size());
+      AliasEnv env;
+      std::unordered_map<std::string, Value> computed;
+      for (size_t i = 0; i < ctx.items.size(); ++i) {
+        std::optional<Value> v = EvalScalarExpr(ctx.items[i].expr, &acc, nullptr);
+        out_row.push_back(v.value_or(Value()));
+        computed[ctx.items[i].name] = out_row.back();
+      }
+      if (ctx.having.has_value()) {
+        env.lookup = [&](const std::string& name) -> std::optional<Value> {
+          auto it = computed.find(name);
+          if (it != computed.end()) {
+            return it->second;
+          }
+          return std::nullopt;
+        };
+        std::optional<Value> ok = EvalScalarExpr(*ctx.having, &acc, &env);
+        if (!ok.has_value() || !ValueTruthy(*ok)) {
+          continue;
+        }
+      }
+      table.AddRow(std::move(out_row));
+    }
+  } else {
+    // Group rows, compute aggregates per group.
+    std::vector<const Expr*> agg_calls = CollectAggregateCalls(ctx);
+    std::map<std::string, std::pair<std::vector<Value>, std::vector<std::vector<const Event*>>>>
+        groups;
+    for (const auto& row : tuples.rows()) {
+      RowAccessor acc(row, pattern_order, catalog);
+      std::vector<Value> key;
+      for (const OutputItem& g : ctx.group_by) {
+        key.push_back(EvalScalarExpr(g.expr, &acc, nullptr).value_or(Value()));
+      }
+      auto& slot = groups[GroupKeyString(key)];
+      if (slot.second.empty()) {
+        slot.first = key;
+      }
+      slot.second.push_back(row);
+    }
+    // A query with aggregates but no group-by forms one global group, even
+    // when there are no input rows (SQL semantics for global aggregates).
+    if (ctx.group_by.empty() && groups.empty()) {
+      groups[""] = {{}, {}};
+    }
+
+    for (auto& [key_str, slot] : groups) {
+      const auto& rows = slot.second;
+      std::unordered_map<std::string, Value> agg_values;
+      for (const Expr* call : agg_calls) {
+        agg_values[call->ToString()] =
+            ComputeAggregate(*call, rows, pattern_order, catalog);
+      }
+      // Representative row gives the values of group keys / plain refs.
+      std::vector<const Event*> empty_row;
+      const std::vector<const Event*>& rep = rows.empty() ? empty_row : rows.front();
+      RowAccessor acc(rep, pattern_order, catalog);
+
+      std::unordered_map<std::string, Value> computed;
+      AliasEnv env;
+      env.lookup = [&](const std::string& name) -> std::optional<Value> {
+        auto it = agg_values.find(name);
+        if (it != agg_values.end()) {
+          return it->second;
+        }
+        auto it2 = computed.find(name);
+        if (it2 != computed.end()) {
+          return it2->second;
+        }
+        return std::nullopt;
+      };
+
+      std::vector<Value> out_row;
+      out_row.reserve(ctx.items.size());
+      for (const OutputItem& item : ctx.items) {
+        std::optional<Value> v = EvalScalarExpr(item.expr, rows.empty() ? nullptr : &acc, &env);
+        out_row.push_back(v.value_or(Value()));
+        computed[item.name] = out_row.back();
+      }
+      if (ctx.having.has_value()) {
+        std::optional<Value> ok =
+            EvalScalarExpr(*ctx.having, rows.empty() ? nullptr : &acc, &env);
+        if (!ok.has_value() || !ValueTruthy(*ok)) {
+          continue;
+        }
+      }
+      table.AddRow(std::move(out_row));
+    }
+  }
+
+  // DISTINCT before COUNT so `return count distinct x` counts distinct rows.
+  if (ctx.distinct) {
+    table.SortRowsLexicographically();
+    auto* rows = table.mutable_rows();
+    rows->erase(std::unique(rows->begin(), rows->end(),
+                            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+                              if (a.size() != b.size()) {
+                                return false;
+                              }
+                              for (size_t i = 0; i < a.size(); ++i) {
+                                if (a[i] != b[i]) {
+                                  return false;
+                                }
+                              }
+                              return true;
+                            }),
+                rows->end());
+  }
+  if (ctx.count_all) {
+    ResultTable count_table({"count"});
+    count_table.AddRow({Value(static_cast<int64_t>(table.num_rows()))});
+    return count_table;
+  }
+
+  Status s = SortAndLimit(ctx, &table);
+  if (!s.ok()) {
+    return Result<ResultTable>(s);
+  }
+  return table;
+}
+
+}  // namespace aiql

@@ -1,0 +1,37 @@
+// Result projection: evaluates the return clause, grouping, aggregation,
+// having filters, sorting, distinct, and top-k over joined tuple rows.
+#ifndef AIQL_SRC_CORE_PROJECTOR_H_
+#define AIQL_SRC_CORE_PROJECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/result_table.h"
+#include "src/core/tuple_set.h"
+#include "src/lang/query_context.h"
+
+namespace aiql {
+
+// Projects the final tuple set of a multievent query into a result table.
+Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tuples,
+                                   const EntityCatalog& catalog);
+
+// --- helpers shared with the anomaly executor ------------------------------
+
+// Collects the distinct aggregate calls appearing in the query's return
+// items and having clause, keyed by their rendered names.
+std::vector<const Expr*> CollectAggregateCalls(const QueryContext& ctx);
+
+// Computes one aggregate over a set of rows. `pattern_order` maps row columns
+// to pattern ids.
+Value ComputeAggregate(const Expr& call, const std::vector<std::vector<const Event*>>& rows,
+                       const std::vector<size_t>& pattern_order, const EntityCatalog& catalog);
+
+// Applies sort-by keys (by output column), falling back to lexicographic row
+// order when the query has no sort clause; then applies top-k.
+Status SortAndLimit(const QueryContext& ctx, ResultTable* table);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_PROJECTOR_H_

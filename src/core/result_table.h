@@ -1,0 +1,44 @@
+// Tabular query results returned by the AIQL engine.
+#ifndef AIQL_SRC_CORE_RESULT_TABLE_H_
+#define AIQL_SRC_CORE_RESULT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace aiql {
+
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(std::vector<Value> row) { rows_.push_back(std::move(row)); }
+  std::vector<std::vector<Value>>* mutable_rows() { return &rows_; }
+
+  // Column index by name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  // Sorts rows lexicographically (used for deterministic comparisons when the
+  // query has no sort clause).
+  void SortRowsLexicographically();
+
+  // Renders an aligned ASCII table (examples and the interactive shell).
+  std::string ToString(size_t max_rows = 50) const;
+
+  bool SameRowsAs(const ResultTable& other) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_RESULT_TABLE_H_

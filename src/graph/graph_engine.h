@@ -1,0 +1,45 @@
+// Cypher-strategy execution of AIQL query contexts over the property graph:
+// the Neo4j baseline of Table 3 / Fig 5.
+//
+// Pattern matching proceeds by anchor selection (label+property index when an
+// equality anchor exists) followed by adjacency expansion with per-edge
+// property filtering, backtracking across event patterns. This is the
+// execution model of a graph database; it shares no code with the relational
+// executors, but returns identical result tables (equivalence-tested).
+#ifndef AIQL_SRC_GRAPH_GRAPH_ENGINE_H_
+#define AIQL_SRC_GRAPH_GRAPH_ENGINE_H_
+
+#include "src/core/result_table.h"
+#include "src/graph/property_graph.h"
+#include "src/lang/query_context.h"
+
+namespace aiql {
+
+struct GraphExecStats {
+  size_t rels_visited = 0;
+  size_t nodes_expanded = 0;
+  size_t rows_emitted = 0;
+};
+
+class GraphEngine {
+ public:
+  explicit GraphEngine(const PropertyGraph* graph, int64_t time_budget_ms = 0,
+                       size_t max_work = 0)
+      : graph_(graph), time_budget_ms_(time_budget_ms), max_work_(max_work) {}
+
+  // Executes a multievent/dependency query context (anomaly queries are not
+  // expressible in Cypher; the paper omits them for Neo4j too).
+  Result<ResultTable> Execute(const QueryContext& ctx);
+
+  const GraphExecStats& last_stats() const { return stats_; }
+
+ private:
+  const PropertyGraph* graph_;
+  int64_t time_budget_ms_;
+  size_t max_work_;
+  GraphExecStats stats_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_GRAPH_GRAPH_ENGINE_H_

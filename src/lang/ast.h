@@ -1,0 +1,133 @@
+// Abstract syntax tree for AIQL queries, mirroring Grammar 1 of the paper.
+//
+// The parser produces this AST verbatim (shortcuts unresolved); the inference
+// pass (inference.h) applies the context-aware shortcuts and produces the
+// engine-ready QueryContext.
+#ifndef AIQL_SRC_LANG_AST_H_
+#define AIQL_SRC_LANG_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lang/expr.h"
+#include "src/storage/event.h"
+#include "src/storage/predicate.h"
+#include "src/util/time_utils.h"
+
+namespace aiql::ast {
+
+// <entity> ::= <entity_type> <e_id>? ('[' <attr_cstr> ']')?
+// Attribute-constraint leaves with an empty attr name await default-attribute
+// inference.
+struct EntityRef {
+  EntityType type = EntityType::kProcess;
+  std::string id;        // empty = anonymous (optional-ID shortcut)
+  PredExpr constraint;   // may contain leaves with empty attr
+  int line = 0;
+};
+
+// <evt_patt> ::= <entity> <op_exp> <entity> <evt>? ('(' <twind> ')')?
+struct EventPattern {
+  EntityRef subject;
+  OpMask ops = kAllOps;
+  EntityRef object;
+  std::string evt_id;    // empty = anonymous
+  PredExpr evt_constraint;
+  std::optional<TimeRange> time_window;
+  int line = 0;
+};
+
+// <attr_rel> ::= <e_id>'.'<attr> <bop> <e_id>'.'<attr> | <e_id> <bop> <e_id>
+struct AttrRel {
+  std::string left_id;
+  std::string left_attr;   // empty = infer (id)
+  CmpOp op = CmpOp::kEq;
+  std::string right_id;
+  std::string right_attr;
+  int line = 0;
+};
+
+enum class TempOrder : uint8_t { kBefore, kAfter, kWithin };
+
+// <temp_rel> ::= <evt_id> ('before'|'after'|'within') ('[' v '-' v unit ']')? <evt_id>
+struct TempRel {
+  std::string left_evt;
+  TempOrder order = TempOrder::kBefore;
+  // Optional distance window [lo, hi] in milliseconds; unset = any distance.
+  std::optional<DurationMs> lo;
+  std::optional<DurationMs> hi;
+  std::string right_evt;
+  int line = 0;
+};
+
+// <res> with optional rename.
+struct ReturnItem {
+  Expr expr;
+  std::string rename;  // empty = derived name
+};
+
+// <return> ::= 'return' 'count'? 'distinct'? <res> (',' <res>)*
+struct ReturnClause {
+  bool count_all = false;
+  bool distinct = false;
+  std::vector<ReturnItem> items;
+};
+
+struct SortKey {
+  Expr expr;
+  bool ascending = true;
+};
+
+// <filter> pieces (plus <group_by>); any combination may follow the return.
+struct Filters {
+  std::vector<ReturnItem> group_by;
+  std::optional<Expr> having;
+  std::vector<SortKey> sort_by;
+  std::optional<int64_t> top;
+};
+
+// <global_cstr> ::= <cstr> | '(' <twind> ')' | <slide_wind>
+struct GlobalConstraints {
+  PredExpr constraint;                    // e.g. agentid = 1
+  std::optional<TimeRange> time_window;   // (at "...") / (from "..." to "...")
+  std::optional<DurationMs> window;       // sliding window length
+  std::optional<DurationMs> step;         // sliding window step
+};
+
+struct MultieventQuery {
+  std::vector<EventPattern> patterns;
+  std::vector<AttrRel> attr_rels;
+  std::vector<TempRel> temp_rels;
+  ReturnClause ret;
+  Filters filters;
+};
+
+// <op_edge> ::= ('->' | '<-') '[' <op_exp> ']'
+struct DependencyEdge {
+  bool points_right = true;  // '->' if true, '<-' if false
+  OpMask ops = kAllOps;
+};
+
+// <d_query>: a path of entities joined by operation edges.
+struct DependencyQuery {
+  bool forward = true;  // 'forward:' (default) or 'backward:'
+  std::vector<EntityRef> nodes;
+  std::vector<DependencyEdge> edges;  // edges.size() == nodes.size() - 1
+  ReturnClause ret;
+  Filters filters;
+};
+
+enum class QueryKind : uint8_t { kMultievent, kDependency, kAnomaly };
+
+struct Query {
+  QueryKind kind = QueryKind::kMultievent;
+  GlobalConstraints global;
+  MultieventQuery multievent;   // valid for kMultievent / kAnomaly
+  DependencyQuery dependency;   // valid for kDependency
+  std::string text;             // original source text
+};
+
+}  // namespace aiql::ast
+
+#endif  // AIQL_SRC_LANG_AST_H_

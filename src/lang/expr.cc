@@ -1,0 +1,142 @@
+#include "src/lang/expr.h"
+
+#include <cmath>
+
+namespace aiql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "&&";
+    case BinOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+Expr Expr::Number(double v) {
+  Expr e;
+  e.kind = Kind::kNumber;
+  e.number = v;
+  return e;
+}
+
+Expr Expr::String(std::string v) {
+  Expr e;
+  e.kind = Kind::kString;
+  e.str = std::move(v);
+  return e;
+}
+
+Expr Expr::Var(std::string name, std::string attr) {
+  Expr e;
+  e.kind = Kind::kVarRef;
+  e.name = std::move(name);
+  e.attr = std::move(attr);
+  return e;
+}
+
+Expr Expr::Hist(std::string name, int offset) {
+  Expr e;
+  e.kind = Kind::kHistRef;
+  e.name = std::move(name);
+  e.hist_offset = offset;
+  return e;
+}
+
+Expr Expr::Call(std::string func, std::vector<Expr> args) {
+  Expr e;
+  e.kind = Kind::kCall;
+  e.func = std::move(func);
+  e.children = std::move(args);
+  return e;
+}
+
+Expr Expr::Binary(BinOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind = Kind::kBinary;
+  e.bop = op;
+  e.children.push_back(std::move(lhs));
+  e.children.push_back(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Unary(char op, Expr operand) {
+  Expr e;
+  e.kind = Kind::kUnary;
+  e.uop = op;
+  e.children.push_back(std::move(operand));
+  return e;
+}
+
+bool IsAggregateFunc(const std::string& lower_name) {
+  return lower_name == "count" || lower_name == "count_distinct" || lower_name == "sum" ||
+         lower_name == "avg" || lower_name == "min" || lower_name == "max";
+}
+
+bool IsMovingAverageFunc(const std::string& lower_name) {
+  return lower_name == "sma" || lower_name == "cma" || lower_name == "wma" ||
+         lower_name == "ewma";
+}
+
+bool Expr::IsAggregateCall() const { return kind == Kind::kCall && IsAggregateFunc(func); }
+
+bool Expr::IsMovingAverageCall() const {
+  return kind == Kind::kCall && IsMovingAverageFunc(func);
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kNumber: {
+      if (number == std::floor(number) && std::abs(number) < 1e15) {
+        return std::to_string(static_cast<int64_t>(number));
+      }
+      return std::to_string(number);
+    }
+    case Kind::kString:
+      return "\"" + str + "\"";
+    case Kind::kVarRef:
+      return attr.empty() ? name : name + "." + attr;
+    case Kind::kHistRef:
+      return name + "[" + std::to_string(hist_offset) + "]";
+    case Kind::kCall: {
+      std::string out = func + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kBinary:
+      return "(" + children[0].ToString() + " " + BinOpName(bop) + " " + children[1].ToString() +
+             ")";
+    case Kind::kUnary:
+      return std::string(1, uop) + children[0].ToString();
+  }
+  return "?";
+}
+
+}  // namespace aiql

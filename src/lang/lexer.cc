@@ -1,0 +1,286 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace aiql {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kAndAnd:
+      return "'&&'";
+    case TokenType::kOrOr:
+      return "'||'";
+    case TokenType::kBang:
+      return "'!'";
+    case TokenType::kArrow:
+      return "'->'";
+    case TokenType::kLArrow:
+      return "'<-'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType type, std::string text, int tline, int tcol) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    int tline = line, tcol = col;
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++col;
+      continue;
+    }
+    // '//' line comment
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      std::string s;
+      ++i;
+      ++col;
+      bool closed = false;
+      while (i < n) {
+        char d = input[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          ++col;
+          break;
+        }
+        if (d == '\\' && i + 1 < n) {
+          // Escapes: \" and \\; anything else kept verbatim (Windows paths).
+          char e = input[i + 1];
+          if (e == '"' || e == '\\') {
+            s.push_back(e);
+            i += 2;
+            col += 2;
+            continue;
+          }
+        }
+        if (d == '\n') {
+          ++line;
+          col = 0;
+        }
+        s.push_back(d);
+        ++i;
+        ++col;
+      }
+      if (!closed) {
+        return Result<std::vector<Token>>::Error("line " + std::to_string(tline) +
+                                                 ": unterminated string literal");
+      }
+      push(TokenType::kString, std::move(s), tline, tcol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) || input[i] == '.')) {
+        // Stop at '..' or a dot not followed by a digit (member access).
+        if (input[i] == '.' &&
+            (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+          break;
+        }
+        ++i;
+        ++col;
+      }
+      std::string text = input.substr(start, i - start);
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = text;
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.line = tline;
+      t.col = tcol;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) {
+        ++i;
+        ++col;
+      }
+      push(TokenType::kIdent, input.substr(start, i - start), tline, tcol);
+      continue;
+    }
+    auto two = [&](char a, char b) { return c == a && i + 1 < n && input[i + 1] == b; };
+    if (two('&', '&')) {
+      push(TokenType::kAndAnd, "&&", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      push(TokenType::kOrOr, "||", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenType::kNe, "!=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenType::kLe, "<=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenType::kGe, ">=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('-', '>')) {
+      push(TokenType::kArrow, "->", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('<', '-')) {
+      push(TokenType::kLArrow, "<-", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    TokenType single;
+    switch (c) {
+      case '(':
+        single = TokenType::kLParen;
+        break;
+      case ')':
+        single = TokenType::kRParen;
+        break;
+      case '[':
+        single = TokenType::kLBracket;
+        break;
+      case ']':
+        single = TokenType::kRBracket;
+        break;
+      case ',':
+        single = TokenType::kComma;
+        break;
+      case '.':
+        single = TokenType::kDot;
+        break;
+      case ':':
+        single = TokenType::kColon;
+        break;
+      case '=':
+        single = TokenType::kEq;
+        break;
+      case '<':
+        single = TokenType::kLt;
+        break;
+      case '>':
+        single = TokenType::kGt;
+        break;
+      case '!':
+        single = TokenType::kBang;
+        break;
+      case '+':
+        single = TokenType::kPlus;
+        break;
+      case '-':
+        single = TokenType::kMinus;
+        break;
+      case '*':
+        single = TokenType::kStar;
+        break;
+      case '/':
+        single = TokenType::kSlash;
+        break;
+      default:
+        return Result<std::vector<Token>>::Error(
+            "line " + std::to_string(tline) + ", col " + std::to_string(tcol) +
+            ": unexpected character '" + std::string(1, c) + "'");
+    }
+    push(single, std::string(1, c), tline, tcol);
+    ++i;
+    ++col;
+  }
+  push(TokenType::kEof, "", line, col);
+  return out;
+}
+
+}  // namespace aiql

@@ -1,0 +1,22 @@
+// Recursive-descent parser for AIQL (Grammar 1 of the paper).
+//
+// Produces an ast::Query with shortcuts unresolved; pair with
+// ResolveQuery() (inference.h) to obtain an executable QueryContext.
+// Errors carry line/column positions (the "Error Reporting" component of the
+// system architecture, Fig 2).
+#ifndef AIQL_SRC_LANG_PARSER_H_
+#define AIQL_SRC_LANG_PARSER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/util/result.h"
+
+namespace aiql {
+
+// Parses a single AIQL query (multievent, dependency, or anomaly).
+Result<ast::Query> ParseQuery(const std::string& text);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_LANG_PARSER_H_

@@ -1,0 +1,104 @@
+#include "src/mpp/mpp_cluster.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+const char* DistributionPolicyName(DistributionPolicy p) {
+  switch (p) {
+    case DistributionPolicy::kArrivalRoundRobin:
+      return "round-robin";
+    case DistributionPolicy::kSemanticsAware:
+      return "semantics-aware";
+  }
+  return "?";
+}
+
+MppCluster::MppCluster(size_t num_segments, DistributionPolicy policy,
+                       DatabaseOptions segment_options)
+    : policy_(policy) {
+  if (num_segments == 0) {
+    num_segments = 1;
+  }
+  catalog_ = std::make_shared<EntityCatalog>();
+  segments_.reserve(num_segments);
+  for (size_t i = 0; i < num_segments; ++i) {
+    segments_.push_back(std::make_unique<Database>(segment_options, catalog_));
+  }
+  pool_ = std::make_unique<ThreadPool>(num_segments);
+}
+
+size_t MppCluster::SegmentFor(const Event& e, size_t arrival_index) const {
+  if (policy_ == DistributionPolicy::kArrivalRoundRobin) {
+    return arrival_index % segments_.size();
+  }
+  // Semantics-aware: co-locate each (agent, day) slice on one segment, so
+  // spatial/temporal constraints prune whole segments.
+  uint64_t key = static_cast<uint64_t>(e.agent_id) * 1000003ull +
+                 static_cast<uint64_t>(DayIndex(e.start_time));
+  return static_cast<size_t>(key % segments_.size());
+}
+
+void MppCluster::BuildFrom(const Database& source) {
+  // Share the source's catalog so entity indices remain valid in shards.
+  catalog_ = source.shared_catalog();
+  DatabaseOptions opts = segments_.empty() ? DatabaseOptions{} : segments_[0]->options();
+  size_t n = segments_.size();
+  segments_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    segments_.push_back(std::make_unique<Database>(opts, catalog_));
+  }
+  size_t arrival = 0;
+  std::vector<std::vector<Event>> shard(n);
+  source.ForEachEvent([&](const Event& e) {
+    shard[SegmentFor(e, arrival)].push_back(e);
+    ++arrival;
+  });
+  // Replay into segments preserving ids/sequences from the source.
+  for (size_t i = 0; i < n; ++i) {
+    // Arrival order within a shard follows source partition order; sort by id
+    // to reproduce the original ingest order.
+    std::sort(shard[i].begin(), shard[i].end(),
+              [](const Event& a, const Event& b) { return a.id < b.id; });
+    for (const Event& e : shard[i]) {
+      segments_[i]->AppendRaw(e);  // preserve original event ids/sequences
+    }
+    segments_[i]->Finalize();
+  }
+  range_ = source.data_time_range();
+}
+
+size_t MppCluster::num_events() const {
+  size_t total = 0;
+  for (const auto& s : segments_) {
+    total += s->num_events();
+  }
+  return total;
+}
+
+std::vector<const Event*> MppCluster::ExecuteQuery(const DataQuery& query,
+                                                   ScanStats* stats) const {
+  std::vector<std::vector<const Event*>> partials(segments_.size());
+  std::vector<ScanStats> partial_stats(segments_.size());
+  pool_->ParallelFor(segments_.size(), [&](size_t i) {
+    partials[i] = segments_[i]->ExecuteQuery(query, &partial_stats[i]);
+  });
+  size_t total = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    total += partials[i].size();
+    if (stats != nullptr) {
+      *stats += partial_stats[i];
+    }
+  }
+  std::vector<const Event*> out;
+  out.reserve(total);
+  for (const auto& p : partials) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event* a, const Event* b) {
+    return a->start_time != b->start_time ? a->start_time < b->start_time : a->id < b->id;
+  });
+  return out;
+}
+
+}  // namespace aiql

@@ -1,0 +1,79 @@
+// The data query: the unit of execution the AIQL engine synthesizes for each
+// event pattern (paper §5.1, Fig 3).
+//
+// A data query carries the pattern's static constraints (operation set, time
+// range, agent constraint, subject/object/event predicates) plus optional
+// *pushed-down* constraints supplied by the relationship-based scheduler
+// (Algorithm 1): candidate entity index sets and a narrowed time range
+// derived from already-executed patterns. Pushdown is what "execute q_j under
+// S_i" means in the paper.
+#ifndef AIQL_SRC_STORAGE_DATA_QUERY_H_
+#define AIQL_SRC_STORAGE_DATA_QUERY_H_
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/event.h"
+#include "src/storage/predicate.h"
+#include "src/util/time_utils.h"
+
+namespace aiql {
+
+struct DataQuery {
+  // --- static constraints (from the event pattern) ---
+  OpMask op_mask = kAllOps;
+  EntityType object_type = EntityType::kFile;
+  std::optional<std::vector<AgentId>> agent_ids;  // spatial constraint
+  TimeRange time;                                 // temporal constraint
+  PredExpr subject_pred;                          // over process attributes
+  PredExpr object_pred;                           // over object attributes
+  PredExpr event_pred;                            // over event attributes
+
+  // --- pushed-down constraints (from Algorithm 1 scheduling) ---
+  std::optional<std::vector<uint32_t>> subject_candidates;  // catalog indices
+  std::optional<std::vector<uint32_t>> object_candidates;
+  std::optional<TimeRange> pushed_time;
+
+  // Number of static constraints; the pruning score of the pattern.
+  size_t CountConstraints() const {
+    size_t n = subject_pred.CountConstraints() + object_pred.CountConstraints() +
+               event_pred.CountConstraints();
+    if (agent_ids.has_value()) {
+      ++n;
+    }
+    if (time.bounded()) {
+      ++n;
+    }
+    if (op_mask != kAllOps) {
+      ++n;
+    }
+    return n;
+  }
+
+  TimeRange EffectiveTime() const {
+    return pushed_time.has_value() ? time.Intersect(*pushed_time) : time;
+  }
+};
+
+// Execution statistics, surfaced for tests, ablations, and EXPERIMENTS.md.
+struct ScanStats {
+  uint64_t events_scanned = 0;    // events touched by any access path
+  uint64_t events_matched = 0;
+  uint64_t partitions_pruned = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t index_lookups = 0;
+
+  ScanStats& operator+=(const ScanStats& o) {
+    events_scanned += o.events_scanned;
+    events_matched += o.events_matched;
+    partitions_pruned += o.partitions_pruned;
+    partitions_scanned += o.partitions_scanned;
+    index_lookups += o.index_lookups;
+    return *this;
+  }
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_STORAGE_DATA_QUERY_H_

@@ -1,0 +1,292 @@
+#include "src/storage/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/string_utils.h"
+
+namespace aiql {
+
+Database::Database(DatabaseOptions options, std::shared_ptr<EntityCatalog> catalog)
+    : options_(options),
+      catalog_(catalog != nullptr ? std::move(catalog) : std::make_shared<EntityCatalog>()) {
+  if (options_.agent_group_size == 0) {
+    options_.agent_group_size = 1;
+  }
+}
+
+PartitionKey Database::KeyFor(AgentId agent, TimestampMs t) const {
+  if (options_.scheme == PartitionScheme::kNone) {
+    return PartitionKey{0, 0};
+  }
+  return PartitionKey{DayIndex(t), agent / options_.agent_group_size};
+}
+
+Partition& Database::PartitionFor(AgentId agent, TimestampMs t) {
+  PartitionKey key = KeyFor(agent, t);
+  auto map_key = std::make_pair(key.day_index, key.agent_group);
+  auto it = partitions_.find(map_key);
+  if (it == partitions_.end()) {
+    it = partitions_.emplace(map_key, std::make_unique<Partition>(key)).first;
+  }
+  return *it->second;
+}
+
+const Event& Database::RecordEvent(AgentId agent, uint32_t subject_idx, Operation op,
+                                   EntityType object_type, uint32_t object_idx,
+                                   TimestampMs start_time, int64_t amount, int32_t failure_code,
+                                   TimestampMs end_time) {
+  Event e;
+  e.id = next_event_id_++;
+  e.seq = ++agent_seq_[agent];
+  e.agent_id = agent;
+  e.op = op;
+  e.object_type = object_type;
+  e.subject_idx = subject_idx;
+  e.object_idx = object_idx;
+  e.start_time = start_time;
+  e.end_time = end_time < 0 ? start_time : end_time;
+  e.amount = amount;
+  e.failure_code = failure_code;
+
+  Partition& p = PartitionFor(agent, start_time);
+  p.Append(e);
+  ++num_events_;
+  data_range_.begin = std::min(data_range_.begin, start_time);
+  data_range_.end = std::max(data_range_.end, start_time + 1);
+  finalized_ = false;
+  return p.events().back();
+}
+
+void Database::AppendRaw(const Event& e) {
+  Partition& p = PartitionFor(e.agent_id, e.start_time);
+  p.Append(e);
+  ++num_events_;
+  next_event_id_ = std::max(next_event_id_, e.id + 1);
+  data_range_.begin = std::min(data_range_.begin, e.start_time);
+  data_range_.end = std::max(data_range_.end, e.start_time + 1);
+  finalized_ = false;
+}
+
+void Database::Finalize() {
+  if (finalized_) {
+    return;
+  }
+  for (auto& [key, p] : partitions_) {
+    p->Finalize(options_.build_indexes);
+  }
+  BuildEntityIndexes();
+  finalized_ = true;
+}
+
+void Database::BuildEntityIndexes() {
+  file_name_index_.clear();
+  proc_exe_index_.clear();
+  net_dstip_index_.clear();
+  if (!options_.build_indexes) {
+    return;
+  }
+  const auto& files = catalog_->files();
+  for (uint32_t i = 0; i < files.size(); ++i) {
+    file_name_index_[ToLower(files[i].name)].push_back(i);
+  }
+  const auto& procs = catalog_->processes();
+  for (uint32_t i = 0; i < procs.size(); ++i) {
+    proc_exe_index_[ToLower(procs[i].exe_name)].push_back(i);
+  }
+  const auto& nets = catalog_->networks();
+  for (uint32_t i = 0; i < nets.size(); ++i) {
+    net_dstip_index_[ToLower(nets[i].dst_ip)].push_back(i);
+  }
+}
+
+std::vector<uint32_t> Database::FindEntities(EntityType t, const PredExpr& pred,
+                                             const std::optional<std::vector<AgentId>>& agents,
+                                             ScanStats* stats) const {
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+  std::unordered_set<AgentId> agent_set;
+  if (agents.has_value()) {
+    agent_set.insert(agents->begin(), agents->end());
+  }
+  auto agent_ok = [&](AgentId a) { return !agents.has_value() || agent_set.count(a) > 0; };
+
+  std::vector<uint32_t> out;
+
+  // Index fast path: exact values on the default attribute.
+  if (options_.build_indexes) {
+    std::vector<Value> values = pred.EqualityValuesFor(DefaultAttribute(t));
+    if (!values.empty()) {
+      const std::unordered_map<std::string, std::vector<uint32_t>>* index = nullptr;
+      switch (t) {
+        case EntityType::kFile:
+          index = &file_name_index_;
+          break;
+        case EntityType::kProcess:
+          index = &proc_exe_index_;
+          break;
+        case EntityType::kNetwork:
+          index = &net_dstip_index_;
+          break;
+      }
+      for (const Value& v : values) {
+        ++st->index_lookups;
+        auto it = index->find(ToLower(v.ToString()));
+        if (it == index->end()) {
+          continue;
+        }
+        for (uint32_t idx : it->second) {
+          if (!agent_ok(catalog_->AgentOf(t, idx))) {
+            continue;
+          }
+          auto source = [&](std::string_view attr) { return catalog_->AttrOf(t, idx, attr); };
+          if (pred.Eval(source)) {
+            out.push_back(idx);
+          }
+        }
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    }
+  }
+
+  // Catalog scan: entities are few relative to events.
+  size_t n = catalog_->CountOf(t);
+  for (uint32_t idx = 0; idx < n; ++idx) {
+    if (!agent_ok(catalog_->AgentOf(t, idx))) {
+      continue;
+    }
+    auto source = [&](std::string_view attr) { return catalog_->AttrOf(t, idx, attr); };
+    if (pred.Eval(source)) {
+      out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+std::vector<const Event*> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
+  assert(finalized_ && "Database::Execute before Finalize()");
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+
+  // Resolve candidate entity sets from predicates and pushdown.
+  std::optional<std::unordered_set<uint32_t>> subject_set;
+  if (!q.subject_pred.is_true()) {
+    std::vector<uint32_t> found =
+        FindEntities(EntityType::kProcess, q.subject_pred, q.agent_ids, st);
+    subject_set.emplace(found.begin(), found.end());
+  }
+  if (q.subject_candidates.has_value()) {
+    if (!subject_set.has_value()) {
+      subject_set.emplace(q.subject_candidates->begin(), q.subject_candidates->end());
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t idx : *q.subject_candidates) {
+        if (subject_set->count(idx) > 0) {
+          merged.insert(idx);
+        }
+      }
+      subject_set = std::move(merged);
+    }
+  }
+
+  std::optional<std::unordered_set<uint32_t>> object_set;
+  if (!q.object_pred.is_true()) {
+    // Files and network connections are recorded as entities of the host the
+    // event occurred on, so the event's agent constraint narrows the
+    // candidate set; process objects may live on a remote host (cross-host
+    // connect events), so their candidates must not be agent-filtered.
+    const auto& object_agents = q.object_type == EntityType::kProcess
+                                    ? std::optional<std::vector<AgentId>>{}
+                                    : q.agent_ids;
+    std::vector<uint32_t> found = FindEntities(q.object_type, q.object_pred, object_agents, st);
+    object_set.emplace(found.begin(), found.end());
+  }
+  if (q.object_candidates.has_value()) {
+    if (!object_set.has_value()) {
+      object_set.emplace(q.object_candidates->begin(), q.object_candidates->end());
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t idx : *q.object_candidates) {
+        if (object_set->count(idx) > 0) {
+          merged.insert(idx);
+        }
+      }
+      object_set = std::move(merged);
+    }
+  }
+
+  // Short-circuit: a constrained side with no candidates matches nothing.
+  if ((subject_set.has_value() && subject_set->empty()) ||
+      (object_set.has_value() && object_set->empty())) {
+    return {};
+  }
+
+  std::unordered_set<uint32_t> agent_groups;
+  if (q.agent_ids.has_value()) {
+    for (AgentId a : *q.agent_ids) {
+      agent_groups.insert(a / options_.agent_group_size);
+    }
+  }
+  std::unordered_set<AgentId> agent_set;
+  if (q.agent_ids.has_value()) {
+    agent_set.insert(q.agent_ids->begin(), q.agent_ids->end());
+  }
+
+  TimeRange range = q.EffectiveTime();
+  std::vector<const Event*> out;
+  for (const auto& [key, p] : partitions_) {
+    if (options_.scheme == PartitionScheme::kTimeSpace) {
+      // Partition pruning along both dimensions.
+      TimeRange day{DayStart(key.first), DayStart(key.first + 1)};
+      if (!range.Overlaps(day) ||
+          (q.agent_ids.has_value() && agent_groups.count(key.second) == 0)) {
+        ++st->partitions_pruned;
+        continue;
+      }
+    }
+    ++st->partitions_scanned;
+    size_t before = out.size();
+    p->Execute(q, *catalog_,
+               subject_set.has_value() ? &*subject_set : nullptr,
+               object_set.has_value() ? &*object_set : nullptr, &out, st);
+    // Partition groups may hold several agents; enforce exact agent match.
+    if (q.agent_ids.has_value()) {
+      size_t w = before;
+      for (size_t r = before; r < out.size(); ++r) {
+        if (agent_set.count(out[r]->agent_id) > 0) {
+          out[w++] = out[r];
+        }
+      }
+      out.resize(w);
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Event* a, const Event* b) {
+    return a->start_time != b->start_time ? a->start_time < b->start_time : a->id < b->id;
+  });
+  return out;
+}
+
+void Database::ForEachEvent(const std::function<void(const Event&)>& fn) const {
+  for (const auto& [key, p] : partitions_) {
+    for (const Event& e : p->events()) {
+      fn(e);
+    }
+  }
+}
+
+std::vector<int64_t> Database::DayIndices() const {
+  std::vector<int64_t> days;
+  for (const auto& [key, p] : partitions_) {
+    if (days.empty() || days.back() != key.first) {
+      days.push_back(key.first);
+    }
+  }
+  // partitions_ is ordered by (day, group); dedupe handles multiple groups.
+  days.erase(std::unique(days.begin(), days.end()), days.end());
+  return days;
+}
+
+}  // namespace aiql

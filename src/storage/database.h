@@ -1,0 +1,124 @@
+// The embedded event database: the storage substrate of the AIQL system
+// (paper §3.2).
+//
+// The database owns the entity catalog and a set of partitions. Two partition
+// schemes are supported:
+//   - kTimeSpace: one partition per (day, agent-group) — the paper's
+//     domain-specific storage optimization;
+//   - kNone: a single monolithic partition — the configuration of the
+//     PostgreSQL/Neo4j baselines in the end-to-end evaluation (§6.2.2).
+// Independently, secondary indexes (entity attribute hash indexes + per-
+// partition posting lists) can be enabled or disabled for ablations.
+//
+// A database is ingested once, finalized, and then queried read-only;
+// Execute() is const and thread-safe so the engine can run per-day
+// sub-queries in parallel (paper §5.2 "Time Window Partition").
+#ifndef AIQL_SRC_STORAGE_DATABASE_H_
+#define AIQL_SRC_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/data_query.h"
+#include "src/storage/entity.h"
+#include "src/storage/event.h"
+#include "src/storage/event_store.h"
+#include "src/storage/partition.h"
+#include "src/util/time_utils.h"
+
+namespace aiql {
+
+enum class PartitionScheme : uint8_t {
+  kNone = 0,       // single monolithic partition (baseline storage)
+  kTimeSpace = 1,  // (day, agent-group) partitions (AIQL storage)
+};
+
+struct DatabaseOptions {
+  PartitionScheme scheme = PartitionScheme::kTimeSpace;
+  uint32_t agent_group_size = 4;  // agents per spatial partition group
+  bool build_indexes = true;      // entity hash indexes + posting lists
+};
+
+class Database : public EventStore {
+ public:
+  // A catalog may be shared across databases (MPP segments replicate the
+  // entity tables while sharding the event table).
+  explicit Database(DatabaseOptions options = {},
+                    std::shared_ptr<EntityCatalog> catalog = nullptr);
+
+  EntityCatalog& catalog() { return *catalog_; }
+  const EntityCatalog& catalog() const override { return *catalog_; }
+  std::shared_ptr<EntityCatalog> shared_catalog() const { return catalog_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  // Appends an event; ids and per-agent sequence numbers are assigned here.
+  // end_time defaults to start_time when omitted.
+  const Event& RecordEvent(AgentId agent, uint32_t subject_idx, Operation op,
+                           EntityType object_type, uint32_t object_idx, TimestampMs start_time,
+                           int64_t amount = 0, int32_t failure_code = 0,
+                           TimestampMs end_time = -1);
+
+  // Appends a fully-formed event preserving its id/sequence (used when
+  // re-sharding an existing database into MPP segments).
+  void AppendRaw(const Event& e);
+
+  // Sorts partitions and builds all indexes. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t num_events() const { return num_events_; }
+  size_t num_partitions() const { return partitions_.size(); }
+  TimeRange data_time_range() const override { return data_range_; }
+  bool SupportsDaySplit() const override { return options_.scheme == PartitionScheme::kTimeSpace; }
+
+  // Visits every ingested event (partition order). Used to build the graph
+  // and MPP substrates from the same data.
+  void ForEachEvent(const std::function<void(const Event&)>& fn) const;
+
+  // Entity search: evaluates `pred` over all entities of type `t` (optionally
+  // restricted to `agents`), using the exact-value hash index on the default
+  // attribute when the predicate allows it. Returns dense catalog indices.
+  std::vector<uint32_t> FindEntities(EntityType t, const PredExpr& pred,
+                                     const std::optional<std::vector<AgentId>>& agents,
+                                     ScanStats* stats = nullptr) const;
+
+  // Executes a data query. Results are sorted by (start_time, id) so that all
+  // engines and schedulers produce deterministic, comparable output.
+  std::vector<const Event*> ExecuteQuery(const DataQuery& q,
+                                         ScanStats* stats = nullptr) const override;
+
+  // The distinct day indices covered by ingested data (for time-window
+  // partitioned parallel execution).
+  std::vector<int64_t> DayIndices() const;
+
+ private:
+  Partition& PartitionFor(AgentId agent, TimestampMs t);
+  PartitionKey KeyFor(AgentId agent, TimestampMs t) const;
+
+  // Builds the per-(type, default-attribute) exact hash indexes.
+  void BuildEntityIndexes();
+
+  DatabaseOptions options_;
+  std::shared_ptr<EntityCatalog> catalog_;
+  std::map<std::pair<int64_t, uint32_t>, std::unique_ptr<Partition>> partitions_;
+  std::unordered_map<AgentId, int64_t> agent_seq_;
+  int64_t next_event_id_ = 1;
+  size_t num_events_ = 0;
+  TimeRange data_range_{INT64_MAX, INT64_MIN};
+  bool finalized_ = false;
+
+  // Exact-value entity indexes: lowercase(default attr value) -> indices.
+  std::unordered_map<std::string, std::vector<uint32_t>> file_name_index_;
+  std::unordered_map<std::string, std::vector<uint32_t>> proc_exe_index_;
+  std::unordered_map<std::string, std::vector<uint32_t>> net_dstip_index_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_STORAGE_DATABASE_H_

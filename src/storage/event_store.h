@@ -1,0 +1,39 @@
+// EventStore: the storage interface the query engine executes against.
+//
+// Implementations: the single-node Database (src/storage/database.h) and the
+// MPP cluster (src/mpp/mpp_cluster.h). The engine is storage-agnostic; the
+// paper's Fig 6 (single node) and Fig 7 (parallel databases) configurations
+// differ only in which EventStore backs the engine.
+#ifndef AIQL_SRC_STORAGE_EVENT_STORE_H_
+#define AIQL_SRC_STORAGE_EVENT_STORE_H_
+
+#include <vector>
+
+#include "src/storage/data_query.h"
+#include "src/storage/entity.h"
+#include "src/storage/event.h"
+#include "src/util/time_utils.h"
+
+namespace aiql {
+
+class EventStore {
+ public:
+  virtual ~EventStore() = default;
+
+  virtual const EntityCatalog& catalog() const = 0;
+
+  // Executes a data query; results sorted by (start_time, id).
+  virtual std::vector<const Event*> ExecuteQuery(const DataQuery& query,
+                                                 ScanStats* stats) const = 0;
+
+  virtual TimeRange data_time_range() const = 0;
+
+  // True if the engine should split multi-day data queries into per-day
+  // sub-queries and run them on its own pool. Stores with internal
+  // parallelism (MPP segments) return false.
+  virtual bool SupportsDaySplit() const = 0;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_STORAGE_EVENT_STORE_H_

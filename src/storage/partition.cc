@@ -1,0 +1,144 @@
+#include "src/storage/partition.h"
+
+#include <algorithm>
+
+namespace aiql {
+namespace {
+
+uint64_t PackObject(EntityType t, uint32_t idx) {
+  return (static_cast<uint64_t>(t) << 32) | idx;
+}
+
+// Threshold under which posting-list access beats a range scan.
+constexpr size_t kPostingCandidateLimit = 4096;
+
+bool EventMatches(const Event& e, const DataQuery& q, const EntityCatalog& catalog,
+                  const std::unordered_set<uint32_t>* subject_set,
+                  const std::unordered_set<uint32_t>* object_set) {
+  if ((OpBit(e.op) & q.op_mask) == 0) {
+    return false;
+  }
+  if (e.object_type != q.object_type) {
+    return false;
+  }
+  if (subject_set != nullptr && subject_set->count(e.subject_idx) == 0) {
+    return false;
+  }
+  if (object_set != nullptr && object_set->count(e.object_idx) == 0) {
+    return false;
+  }
+  if (!q.event_pred.is_true()) {
+    auto source = [&](std::string_view attr) { return GetEventAttr(e, catalog, attr); };
+    if (!q.event_pred.Eval(source)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Partition::Finalize(bool build_indexes) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.start_time < b.start_time; });
+  min_time_ = events_.empty() ? INT64_MAX : events_.front().start_time;
+  max_time_ = events_.empty() ? INT64_MIN : events_.back().start_time;
+  subject_postings_.clear();
+  object_postings_.clear();
+  if (build_indexes) {
+    for (uint32_t i = 0; i < events_.size(); ++i) {
+      const Event& e = events_[i];
+      subject_postings_[e.subject_idx].push_back(i);
+      object_postings_[PackObject(e.object_type, e.object_idx)].push_back(i);
+    }
+  }
+  has_indexes_ = build_indexes;
+  finalized_ = true;
+}
+
+std::pair<size_t, size_t> Partition::TimeSlice(const TimeRange& range) const {
+  auto lo = std::lower_bound(events_.begin(), events_.end(), range.begin,
+                             [](const Event& e, TimestampMs t) { return e.start_time < t; });
+  auto hi = std::lower_bound(events_.begin(), events_.end(), range.end,
+                             [](const Event& e, TimestampMs t) { return e.start_time < t; });
+  return {static_cast<size_t>(lo - events_.begin()), static_cast<size_t>(hi - events_.begin())};
+}
+
+void Partition::ScanRange(size_t begin, size_t end, const DataQuery& q,
+                          const EntityCatalog& catalog,
+                          const std::unordered_set<uint32_t>* subject_set,
+                          const std::unordered_set<uint32_t>* object_set,
+                          std::vector<const Event*>* out, ScanStats* stats) const {
+  for (size_t i = begin; i < end; ++i) {
+    ++stats->events_scanned;
+    const Event& e = events_[i];
+    if (EventMatches(e, q, catalog, subject_set, object_set)) {
+      ++stats->events_matched;
+      out->push_back(&e);
+    }
+  }
+}
+
+void Partition::Execute(const DataQuery& q, const EntityCatalog& catalog,
+                        const std::unordered_set<uint32_t>* subject_set,
+                        const std::unordered_set<uint32_t>* object_set,
+                        std::vector<const Event*>* out, ScanStats* stats) const {
+  TimeRange range = q.EffectiveTime();
+  if (range.empty() || events_.empty() || range.begin > max_time_ || range.end <= min_time_) {
+    return;
+  }
+  auto [lo, hi] = TimeSlice(range);
+  if (lo >= hi) {
+    return;
+  }
+
+  // Access path selection: when a side has a small candidate set and postings
+  // exist, union the posting lists instead of scanning the time slice.
+  if (has_indexes_) {
+    const bool subj_indexed =
+        subject_set != nullptr && subject_set->size() <= kPostingCandidateLimit;
+    const bool obj_indexed = object_set != nullptr && object_set->size() <= kPostingCandidateLimit;
+    if (subj_indexed || obj_indexed) {
+      // Prefer the smaller candidate set.
+      bool use_subject = subj_indexed;
+      if (subj_indexed && obj_indexed) {
+        use_subject = subject_set->size() <= object_set->size();
+      }
+      std::vector<uint32_t> offsets;
+      if (use_subject) {
+        for (uint32_t idx : *subject_set) {
+          ++stats->index_lookups;
+          auto it = subject_postings_.find(idx);
+          if (it != subject_postings_.end()) {
+            offsets.insert(offsets.end(), it->second.begin(), it->second.end());
+          }
+        }
+      } else {
+        for (uint32_t idx : *object_set) {
+          ++stats->index_lookups;
+          auto it = object_postings_.find(PackObject(q.object_type, idx));
+          if (it != object_postings_.end()) {
+            offsets.insert(offsets.end(), it->second.begin(), it->second.end());
+          }
+        }
+      }
+      std::sort(offsets.begin(), offsets.end());
+      for (uint32_t off : offsets) {
+        if (off < lo || off >= hi) {
+          continue;
+        }
+        ++stats->events_scanned;
+        const Event& e = events_[off];
+        if (EventMatches(e, q, catalog, subject_set, object_set)) {
+          ++stats->events_matched;
+          out->push_back(&e);
+        }
+      }
+      return;
+    }
+  }
+
+  ScanRange(lo, hi, q, catalog, subject_set, object_set, out, stats);
+}
+
+}  // namespace aiql

@@ -1,0 +1,83 @@
+// A storage partition: one (day, agent-group) shard of the event table
+// (paper §3.2 "Time and Space Partitioning").
+//
+// Events inside a partition are sorted by start_time so time-range scans are
+// binary searches. Each partition maintains posting lists (entity -> event
+// offsets) for subjects and objects: the analogue of the per-attribute B-tree
+// indexes the paper builds, specialized to the access pattern "give me the
+// events of this entity".
+#ifndef AIQL_SRC_STORAGE_PARTITION_H_
+#define AIQL_SRC_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/data_query.h"
+#include "src/storage/event.h"
+
+namespace aiql {
+
+struct PartitionKey {
+  int64_t day_index = 0;
+  uint32_t agent_group = 0;
+
+  bool operator==(const PartitionKey&) const = default;
+};
+
+struct PartitionKeyHash {
+  size_t operator()(const PartitionKey& k) const {
+    return std::hash<int64_t>{}(k.day_index) * 1000003u + k.agent_group;
+  }
+};
+
+class Partition {
+ public:
+  explicit Partition(PartitionKey key) : key_(key) {}
+
+  const PartitionKey& key() const { return key_; }
+  size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  void Append(const Event& e) { events_.push_back(e); }
+
+  // Sorts by start_time and builds posting lists. Must be called before
+  // Execute; ingest after Finalize requires re-finalization.
+  void Finalize(bool build_indexes);
+  bool finalized() const { return finalized_; }
+
+  // Appends matching events to `out`. `subject_set` / `object_set` are
+  // optional membership filters over catalog indices (nullptr = any).
+  void Execute(const DataQuery& q, const EntityCatalog& catalog,
+               const std::unordered_set<uint32_t>* subject_set,
+               const std::unordered_set<uint32_t>* object_set, std::vector<const Event*>* out,
+               ScanStats* stats) const;
+
+  TimestampMs min_time() const { return min_time_; }
+  TimestampMs max_time() const { return max_time_; }
+
+ private:
+  // Offsets of events within [range) via binary search on start_time.
+  std::pair<size_t, size_t> TimeSlice(const TimeRange& range) const;
+
+  void ScanRange(size_t begin, size_t end, const DataQuery& q, const EntityCatalog& catalog,
+                 const std::unordered_set<uint32_t>* subject_set,
+                 const std::unordered_set<uint32_t>* object_set, std::vector<const Event*>* out,
+                 ScanStats* stats) const;
+
+  PartitionKey key_;
+  std::vector<Event> events_;
+  bool finalized_ = false;
+  bool has_indexes_ = false;
+  TimestampMs min_time_ = INT64_MAX;
+  TimestampMs max_time_ = INT64_MIN;
+
+  // Posting lists: catalog index -> sorted event offsets.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> subject_postings_;
+  // Object postings keyed by (type, idx) packed into a u64.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> object_postings_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_STORAGE_PARTITION_H_

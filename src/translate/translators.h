@@ -1,0 +1,44 @@
+// Query translators: generate the semantically equivalent SQL, Neo4j Cypher,
+// and Splunk SPL for an AIQL query context, and measure conciseness
+// (paper §6.4: number of constraints, words, and characters excluding
+// spaces).
+//
+// Counting rules follow the paper's argument: AIQL absorbs operations,
+// entity types, join keys, and shared entities into syntax, so they are not
+// counted as AIQL constraints; SQL/Cypher/SPL must spell each of them as a
+// WHERE/ON conjunct or search term, and each such conjunct counts.
+// Sliding-window anomaly queries are not expressible in SQL/Cypher/SPL
+// (supported = false), as in the paper's §6.3.1 note on s5/s6.
+#ifndef AIQL_SRC_TRANSLATE_TRANSLATORS_H_
+#define AIQL_SRC_TRANSLATE_TRANSLATORS_H_
+
+#include <string>
+
+#include "src/lang/query_context.h"
+
+namespace aiql {
+
+struct TranslatedQuery {
+  std::string text;
+  size_t constraints = 0;
+  bool supported = true;
+};
+
+TranslatedQuery ToSql(const QueryContext& ctx);
+TranslatedQuery ToCypher(const QueryContext& ctx);
+TranslatedQuery ToSpl(const QueryContext& ctx);
+
+struct ConcisenessMetrics {
+  size_t constraints = 0;
+  size_t words = 0;
+  size_t characters = 0;  // excluding spaces
+  bool supported = true;
+};
+
+// Metrics of the original AIQL text of the context.
+ConcisenessMetrics MeasureAiql(const QueryContext& ctx);
+ConcisenessMetrics Measure(const TranslatedQuery& q);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_TRANSLATE_TRANSLATORS_H_

@@ -1,0 +1,69 @@
+// Lightweight Result<T> / Status types for recoverable errors (parse errors,
+// malformed ingest records, bad query parameters). Unrecoverable programming
+// errors use assertions instead.
+#ifndef AIQL_SRC_UTIL_RESULT_H_
+#define AIQL_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace aiql {
+
+class Status {
+ public:
+  Status() = default;
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit for ergonomics
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const std::string& error() const { return status_.message(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_UTIL_RESULT_H_

@@ -1,0 +1,18 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace aiql {
+
+size_t Rng::Skewed(size_t n, double skew) {
+  if (n <= 1) {
+    return 0;
+  }
+  // Inverse-CDF of a truncated Pareto-like distribution; cheap and monotone.
+  double u = Uniform();
+  double x = std::pow(u, skew) * static_cast<double>(n);
+  size_t idx = static_cast<size_t>(x);
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace aiql

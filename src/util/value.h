@@ -1,0 +1,61 @@
+// Dynamically typed attribute value used throughout the AIQL system.
+//
+// Entity and event attributes are accessed by name (e.g. "exe_name", "dst_ip",
+// "start_time"), so predicates, relationship joins, aggregation, and result
+// tables all operate on a small variant type. Values are totally ordered
+// (numbers before strings, like SQL collation of mixed types never happens in
+// practice because attributes are consistently typed).
+#ifndef AIQL_SRC_UTIL_VALUE_H_
+#define AIQL_SRC_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aiql {
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(int v) : v_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // Renders the value for result tables and query translation.
+  std::string ToString() const;
+
+  // SQL-style three-valued comparisons collapse to two-valued here: values of
+  // mismatched families compare numerically when both are numeric, otherwise
+  // by string rendering.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return *this < other || *this == other; }
+  bool operator>(const Value& other) const { return !(*this <= other); }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  // Stable hash usable as a join key.
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_UTIL_VALUE_H_

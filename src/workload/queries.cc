@@ -1,0 +1,357 @@
+// The AIQL query corpus of the evaluation (paper §6.2.1 and §6.3.1).
+//
+// The 26 case-study queries mirror the iterative investigation of the APT
+// attack: per step, early iterations are small starter queries; later
+// iterations add event patterns until the complete behavior is pinned down
+// (paper: "4-5 iterations are needed before finding a complete query with
+// 5-7 event patterns"). Pattern counts per step match Table 3
+// (c1:1/3, c2:8/27, c3:2/4, c4:8/35, c5:7/18).
+#include "src/workload/workload.h"
+
+namespace aiql {
+namespace {
+
+std::string At(const ScenarioConfig& cfg, int day) {
+  return "(at \"" + cfg.DateString(day) + "\")";
+}
+
+std::string Agent(AgentId a) { return "agentid = " + std::to_string(a); }
+
+}  // namespace
+
+std::vector<QuerySpec> Workload::CaseStudyQueries() const {
+  const ScenarioConfig& c = config_;
+  std::string day = At(c, c.attack_day);
+  std::string w = Agent(c.win_client);
+  std::string d = Agent(c.db_server);
+  std::vector<QuerySpec> qs;
+  auto add = [&](const std::string& id, const std::string& text) {
+    qs.push_back(QuerySpec{id, "apt-case-study", text, false});
+  };
+
+  // ---- c1: initial compromise (1 query, 3 patterns) ----
+  add("c1-1", day + " " + w + R"(
+proc p1["%outlook.exe"] read ip i1 as evt1
+proc p1 write file f1["%.xls"] as evt2
+proc p1 start proc p2["%excel.exe"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2)");
+
+  // ---- c2: malware infection (8 queries, 27 patterns) ----
+  add("c2-1", day + " " + w + R"(
+proc p1["%outlook.exe"] start proc p2["%excel.exe"] as evt1
+proc p2 start proc p3 as evt2
+with evt1 before evt2
+return distinct p1, p2, p3)");
+  add("c2-2", day + " " + w + R"(
+proc p1["%excel.exe"] read file f1["%.xls"] as evt1
+proc p1 connect ip i1 as evt2
+proc p1 write file f2["%.exe"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct f1, i1, f2)");
+  add("c2-3", day + " " + w + R"(
+proc p1["%excel.exe"] connect ip i1["XXX.129"] as evt1
+proc p1 write file f1["%.exe"] as evt2
+proc p1 start proc p2 as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct i1, f1, p2)");
+  add("c2-4", day + " " + w + R"(
+proc p1["%dropper.exe"] write file f1["%.exe"] as evt1
+proc p1 start proc p2 as evt2
+proc p2 connect ip i1["XXX.129"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct f1, p2, i1)");
+  add("c2-5", day + " " + w + R"(
+proc p1["%excel.exe"] read file f1["%.xls"] as evt1
+proc p1 connect ip i1["XXX.129"] as evt2
+proc p1 write file f2["%dropper.exe"] as evt3
+proc p1 start proc p2["%dropper.exe"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct f1, f2, p2)");
+  add("c2-6", day + " " + w + R"(
+proc p1["%outlook.exe"] write file f1["%.xls"] as evt1
+proc p2["%excel.exe"] read file f2 as evt2
+proc p2 write file f3["%dropper.exe"] as evt3
+proc p2 start proc p3["%dropper.exe"] as evt4
+with f1 = f2, evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f1, p3)");
+  add("c2-7", day + " " + w + R"(
+proc p1["%excel.exe"] write file f1["%dropper.exe"] as evt1
+proc p2["%dropper.exe"] write file f2 as evt2
+proc p2 start proc p3 as evt3
+proc p3 connect ip i1 as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct f1, f2, p3, i1)");
+  add("c2-8", day + " " + w + R"(
+proc p1["%outlook.exe"] start proc p2["%excel.exe"] as evt1
+proc p2 connect ip i1 as evt2
+proc p3 start proc p4["%msupdata.exe"] as evt3
+proc p4 connect ip i2["XXX.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p2, i1, p3, p4)");
+
+  // ---- c3: privilege escalation (2 queries, 4 patterns) ----
+  add("c3-1", day + " " + w + R"(
+proc p1["%msupdata.exe"] connect ip i1 as evt1
+proc p1 start proc p2["%gsecdump.exe"] as evt2
+with evt1 before evt2
+return distinct p1, i1.dst_ip, i1.dst_port, p2)");
+  add("c3-2", day + " " + w + R"(
+proc p1["%gsecdump.exe"] read file f1["%SAM"] as evt1
+proc p1 write file f2 as evt2
+with evt1 before evt2
+return distinct p1, f1, f2)");
+
+  // ---- c4: penetration into the DB server (8 queries, 35 patterns) ----
+  add("c4-1", day + " " + d + R"(
+proc p1["%winlogon.exe"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3 as evt2
+with evt1 before evt2
+return distinct p1, p2, p3)");
+  add("c4-2", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%wscript.exe"] as evt1
+proc p2 write file f1 as evt2
+proc p2 start proc p3 as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p2, f1, p3)");
+  add("c4-3", day + " " + d + R"(
+proc p1["%wscript.exe"] write file f1["%sbblv.exe"] as evt1
+proc p1 start proc p2["%sbblv.exe"] as evt2
+proc p2 connect ip i1 as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct f1, p2, i1)");
+  add("c4-4", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%wscript.exe"] as evt1
+proc p2 write file f1["%sbblv.exe"] as evt2
+proc p2 start proc p3["%sbblv.exe"] as evt3
+proc p3 connect ip i1["XXX.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f1, p3, i1)");
+  add("c4-5", day + " " + d + R"(
+proc p1["%winlogon.exe"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3["%wscript.exe"] as evt2
+proc p3 write file f1["%sbblv.exe"] as evt3
+proc p3 start proc p4["%sbblv.exe"] as evt4
+proc p4 connect ip i1["XXX.129"] as evt5
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5
+return distinct p2, p3, f1, p4, i1)");
+  add("c4-6", day + " " + d + R"(
+proc p1["%wscript.exe"] write file f1["%sbblv.exe"] as evt1
+proc p1 start proc p2["%sbblv.exe"] as evt2
+proc p2 connect ip i1["XXX.129"] as evt3
+proc p3 write file f2["%.dmp"] as evt4
+proc p4 read file f3 as evt5
+with p2 = p4, f2 = f3, evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5
+return distinct p1, p2, i1, p3, f2)");
+  add("c4-7", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%wscript.exe"] as evt1
+proc p2 write file f1["%sbblv.exe"] as evt2
+proc p2 start proc p3["%sbblv.exe"] as evt3
+proc p3 connect ip i1 as evt4
+proc p4 write file f2 as evt5
+proc p3 read file f3 as evt6
+with f2 = f3, evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5,
+evt5 before evt6
+return distinct p2, f1, p3, i1, p4, f2)");
+  add("c4-8", day + " " + d + R"(
+proc p1["%winlogon.exe"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3["%wscript.exe"] as evt2
+proc p3 write file f1["%sbblv.exe"] as evt3
+proc p3 start proc p4["%sbblv.exe"] as evt4
+proc p4 connect ip i1["XXX.129"] as evt5
+proc p5["%sqlservr.exe"] write file f2["%backup1.dmp"] as evt6
+proc p4 read file f3 as evt7
+with f2 = f3, evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5,
+evt5 before evt6, evt6 before evt7
+return distinct p2, p3, f1, p4, i1, p5, f2)");
+
+  // ---- c5: data exfiltration (7 queries, 18 patterns) ----
+  add("c5-1", day + " " + d + R"(
+proc p1 write ip i1[dstip = "XXX.129"] as evt1
+return distinct p1, i1.dst_ip)");
+  add("c5-2", day + " " + d + R"(
+proc p1["%sbblv.exe"] read file f1 as evt1
+proc p1 write ip i1[dstip = "XXX.129"] as evt2
+with evt1 before evt2
+return distinct p1, f1, i1, evt1.optype)");
+  add("c5-3", day + " " + d + R"(
+proc p1 write file f1["%backup1.dmp"] as evt1
+proc p2["%sbblv.exe"] read file f1 as evt2
+with evt1 before evt2
+return distinct p1, f1, p2)");
+  add("c5-4", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3, f1, p4)");
+  add("c5-5", day + " " + d + R"(
+proc p1["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt1
+proc p2["%sbblv.exe"] read file f1 as evt2
+proc p2 write ip i1[dstip = "XXX.129"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2, i1)");
+  add("c5-6", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p2 connect ip i1 as evt2
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, i1, p3, f1)");
+  // Paper Query 7: the complete query for step c5.
+  add("c5-7", day + " " + d + R"(
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip = "XXX.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1)");
+
+  return qs;
+}
+
+QuerySpec Workload::CaseStudyAnomalyQuery() const {
+  const ScenarioConfig& c = config_;
+  // Paper Query 5: SMA3 over per-window average transfer amounts.
+  std::string text = At(c, c.attack_day) + "\n" + Agent(c.db_server) + R"(
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "XXX.129"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having amt > 2 * (amt + amt[1] + amt[2]) / 3)";
+  return QuerySpec{"c5-0", "apt-case-study", text, true};
+}
+
+std::vector<QuerySpec> Workload::BehaviorQueries() const {
+  const ScenarioConfig& c = config_;
+  std::string day = At(c, c.attack_day);
+  std::string day0 = At(c, 0);
+  std::string la = Agent(c.linux_host_a);
+  std::vector<QuerySpec> qs;
+  auto add = [&](const std::string& id, const std::string& family, const std::string& text,
+                 bool anomaly = false) {
+    qs.push_back(QuerySpec{id, family, text, anomaly});
+  };
+
+  // ---- a1..a5: multi-step attack behaviors (second APT) ----
+  add("a1", "multi-step", day + " " + la + R"(
+proc p1["%apache%"] start proc p2["%bash%"] as evt1
+proc p2 connect ip i1 as evt2
+with evt1 before evt2
+return distinct p1, p2, i1)");
+  add("a2", "multi-step", day + " " + la + R"(
+proc p1 write file f1 as evt1
+proc p1 start proc p2["/tmp/%"] as evt2
+proc p2 connect ip i1["XXX.77"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2, i1)");
+  add("a3", "multi-step", day + " " + la + R"(
+proc p1["/tmp/%"] read file f1["/etc/passwd" || "/etc/shadow"] as evt1
+proc p1 write ip i1["XXX.77"] as evt2
+with evt1 before evt2
+return distinct p1, f1, i1)");
+  add("a4", "multi-step", day + " " + la + R"(
+proc p2["%cron%"] read file f2 as evt2
+proc p3["%cron%"] start proc p4 as evt3
+proc p1 write file f1 as evt1
+proc p4 connect ip i1["XXX.77"] as evt4
+with f1 = f2, evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f1, p4, i1)");
+  add("a5", "multi-step", day + " " + la + R"(
+proc p1["/tmp/%"] read file f1["/home/%"] as evt1
+proc p1 write ip i1["XXX.77"] as evt2
+with evt1 before evt2
+return distinct p1, i1, evt2.amount
+sort by evt2.amount desc
+top 20)");
+
+  // ---- d1..d3: dependency tracking behaviors ----
+  add("d1", "dependency", day0 + " " + Agent(c.win_client) + R"(
+forward: proc p1["%googleupdate%"] ->[write] file f1["%chrome_update%"]
+<-[read] proc p2 ->[start] proc p3["%chrome_update%"]
+return p1, f1, p2, p3)");
+  add("d2", "dependency", day0 + " " + Agent(c.win_client) + R"(
+forward: proc p1["%jusched%"] ->[write] file f1
+<-[read] proc p2 ->[start] proc p3["%java_update%"]
+return p1, f1, p2, p3)");
+  // Paper Query 3: cross-host forward tracking of the info stealer.
+  add("d3", "dependency", day + R"(
+forward: proc p1["%/bin/cp%", agentid = )" + std::to_string(c.linux_host_a) +
+                              R"(] ->[write] file f1["/var/www%info_stealer%"]
+<-[read] proc p2["%apache%"]
+->[connect] proc p3[agentid = )" + std::to_string(c.linux_host_b) + R"(]
+->[write] file f2["%info_stealer%"]
+return f1, p1, p2, p3, f2)");
+
+  // ---- v1..v5: real-world malware behaviors ----
+  add("v1", "malware", day0 + R"(
+proc p1["%7dd95111e9e100b6%"] connect ip i1["XXX.201"] as evt1
+proc p1 write file f1["%sysbot%"] as evt2
+return distinct p1, i1, f1)");
+  add("v2", "malware", day0 + R"(
+proc p1["%425327783e88bb64%"] read file f1["%Documents%"] as evt1
+proc p1 write file f2["%keylog%"] as evt2
+with evt1 before evt2
+return distinct p1, f1, f2)");
+  add("v3", "malware", day0 + R"(
+proc p1["%ee111901739531d6%"] write file f1["%autorun.inf"] as evt1
+proc p1 write file f2["E:%"] as evt2
+with evt2 after evt1
+return distinct p1, f1, f2)");
+  add("v4", "malware", day0 + R"(
+proc p1["%4e720458c357310d%"] connect ip i1 as evt1
+proc p1 start proc p2["%cmd.exe"] as evt2
+with evt1 before evt2
+return distinct p1, i1, p2)");
+  add("v5", "malware", day0 + R"(
+proc p1["%7dd95111e9e100b6%"] write file f1["%.dll"] as evt1
+proc p1 write file f2["%keylog%"] as evt2
+with evt1 before evt2
+return distinct p1, f1, f2)");
+
+  // ---- s1..s6: abnormal system behaviors ----
+  // s1 is paper Query 2 (command history probing). File names are full paths
+  // in our data model, so the bare-value shortcuts carry a leading wildcard.
+  add("s1", "abnormal", day + " " + la + R"(
+proc p2 start proc p1 as evt1
+proc p3 read file["%.viminfo" || "%.bash_history"] as evt2
+with p1 = p3, evt1 before evt2
+return p2, p1
+sort by p2, p1)");
+  add("s2", "abnormal", day + " " + la + R"(
+proc p1["%apache%"] start proc p2["%sh"] as evt1
+proc p2 connect ip i1 as evt2
+with evt1 before evt2, evt2 within [0-5 minutes] evt1
+return distinct p1, p2, i1)");
+  add("s3", "abnormal", day + " " + Agent(c.win_client) + R"(
+proc p read ip i
+return p, count(distinct i) as freq
+group by p
+having freq > 50
+sort by freq desc)");
+  add("s4", "abnormal", day + " " + la + R"(
+proc p1 delete file f1["/var/log%"] as evt1
+proc p2 delete file f2["%.bash_history"] as evt2
+with p1 = p2, evt2 within [0-5 minutes] evt1
+return distinct p1, f1, f2)");
+  // s5/s6 need sliding windows + history states; SQL/Cypher/SPL cannot
+  // express them (paper §6.3.1).
+  AgentId s5_host = static_cast<AgentId>(1 + c.linux_host_b % c.trace.num_hosts);
+  add("s5", "abnormal", day + " " + Agent(s5_host) + R"(
+window = 1 min, step = 10 sec
+proc p write ip i as evt
+return p, sum(evt.amount) as amt
+group by p
+having amt > 2 * (amt + amt[1] + amt[2]) / 3 && amt > 4000000)",
+      true);
+  add("s6", "abnormal", day + " " + Agent(c.win_client) + R"(
+window = 5 min, step = 1 min
+proc p read file f as evt
+return p, count(distinct f) as nf
+group by p
+having (nf - EWMA(nf, 0.9)) / (EWMA(nf, 0.9) + 1) > 0.5 && nf > 40)",
+      true);
+
+  return qs;
+}
+
+}  // namespace aiql

@@ -1,0 +1,160 @@
+// Tests for the graph (Neo4j-model) and MPP (Greenplum-model) substrates.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/graph/graph_engine.h"
+#include "src/mpp/mpp_cluster.h"
+
+namespace aiql {
+namespace {
+
+class GraphMppTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t0_ = MakeTimestamp(2017, 1, 1, 9, 0, 0);
+    for (AgentId agent = 1; agent <= 3; ++agent) {
+      uint32_t bash = db_.catalog().InternProcess(agent, 100, "/usr/bin/bash", "root");
+      uint32_t curl = db_.catalog().InternProcess(agent, 101, "/usr/bin/curl", "root");
+      uint32_t f = db_.catalog().InternFile(agent, "/tmp/payload.bin");
+      uint32_t ip = db_.catalog().InternNetwork(agent, "10.0.0.9", "8.8.4.4", 5, 443);
+      for (int day = 0; day < 2; ++day) {
+        TimestampMs base = t0_ + day * kDayMs + agent * kMinuteMs;
+        db_.RecordEvent(agent, bash, Operation::kStart, EntityType::kProcess, curl, base);
+        db_.RecordEvent(agent, curl, Operation::kWrite, EntityType::kFile, f,
+                        base + kMinuteMs, 1024);
+        db_.RecordEvent(agent, curl, Operation::kConnect, EntityType::kNetwork, ip,
+                        base + 2 * kMinuteMs);
+      }
+    }
+    db_.Finalize();
+    graph_.BuildFrom(db_);
+  }
+
+  Database db_;
+  PropertyGraph graph_;
+  TimestampMs t0_;
+};
+
+TEST_F(GraphMppTest, GraphImportCounts) {
+  EXPECT_EQ(graph_.num_rels(), db_.num_events());
+  EXPECT_EQ(graph_.num_nodes(), db_.catalog().total_entities());
+}
+
+TEST_F(GraphMppTest, PropertyIndexLookup) {
+  auto nodes = graph_.NodesByProperty(EntityType::kProcess, "/usr/bin/curl");
+  EXPECT_EQ(nodes.size(), 3u);  // one per agent
+  EXPECT_TRUE(graph_.NodesByProperty(EntityType::kProcess, "/usr/bin/nope").empty());
+}
+
+TEST_F(GraphMppTest, AdjacencyIsConsistent) {
+  auto nodes = graph_.NodesByProperty(EntityType::kProcess, "/usr/bin/curl");
+  for (uint32_t n : nodes) {
+    // curl: 2 days x (write + connect) out, 2 starts in.
+    EXPECT_EQ(graph_.node(n).out_rels.size(), 4u);
+    EXPECT_EQ(graph_.node(n).in_rels.size(), 2u);
+  }
+}
+
+TEST_F(GraphMppTest, GraphEngineSimplePattern) {
+  GraphEngine engine(&graph_);
+  auto ctx = CompileQuery(R"(
+      agentid = 2
+      proc p1["%bash"] start proc p2 as evt1
+      proc p2 connect ip i1 as evt2
+      with evt1 before evt2
+      return distinct p1, p2, i1)");
+  ASSERT_TRUE(ctx.ok()) << ctx.error();
+  auto r = engine.Execute(ctx.value());
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().rows()[0][1].ToString(), "/usr/bin/curl");
+  EXPECT_GT(engine.last_stats().rels_visited, 0u);
+}
+
+TEST_F(GraphMppTest, GraphEngineRejectsAnomaly) {
+  GraphEngine engine(&graph_);
+  auto ctx = CompileQuery(R"(
+      (at "01/01/2017")
+      window = 1 min, step = 1 min
+      proc p write ip i as evt
+      return p, sum(evt.amount) as amt
+      group by p)");
+  ASSERT_TRUE(ctx.ok()) << ctx.error();
+  EXPECT_FALSE(engine.Execute(ctx.value()).ok());
+}
+
+TEST_F(GraphMppTest, GraphBudgetAborts) {
+  GraphEngine engine(&graph_, /*time_budget_ms=*/0, /*max_work=*/1);
+  auto ctx = CompileQuery("proc p1 read || write file f1 return p1");
+  ASSERT_TRUE(ctx.ok()) << ctx.error();
+  auto r = engine.Execute(ctx.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("budget"), std::string::npos);
+}
+
+TEST_F(GraphMppTest, MppShardsAllEvents) {
+  for (DistributionPolicy policy :
+       {DistributionPolicy::kArrivalRoundRobin, DistributionPolicy::kSemanticsAware}) {
+    MppCluster cluster(5, policy);
+    cluster.BuildFrom(db_);
+    EXPECT_EQ(cluster.num_events(), db_.num_events());
+    EXPECT_EQ(cluster.num_segments(), 5u);
+  }
+}
+
+TEST_F(GraphMppTest, RoundRobinSpreadsEvenly) {
+  MppCluster cluster(3, DistributionPolicy::kArrivalRoundRobin);
+  cluster.BuildFrom(db_);
+  size_t lo = SIZE_MAX, hi = 0;
+  for (size_t i = 0; i < cluster.num_segments(); ++i) {
+    lo = std::min(lo, cluster.segment(i).num_events());
+    hi = std::max(hi, cluster.segment(i).num_events());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST_F(GraphMppTest, SemanticsAwareColocatesAgentDays) {
+  MppCluster cluster(4, DistributionPolicy::kSemanticsAware);
+  cluster.BuildFrom(db_);
+  // Every (agent, day) must live entirely on one segment.
+  std::map<std::pair<AgentId, int64_t>, std::set<size_t>> placement;
+  for (size_t i = 0; i < cluster.num_segments(); ++i) {
+    cluster.segment(i).ForEachEvent([&](const Event& e) {
+      placement[{e.agent_id, DayIndex(e.start_time)}].insert(i);
+    });
+  }
+  for (const auto& [key, segments] : placement) {
+    EXPECT_EQ(segments.size(), 1u);
+  }
+}
+
+TEST_F(GraphMppTest, MppQueryMatchesSingleNode) {
+  MppCluster cluster(5, DistributionPolicy::kSemanticsAware);
+  cluster.BuildFrom(db_);
+  DataQuery q;
+  q.object_type = EntityType::kNetwork;
+  q.op_mask = OpBit(Operation::kConnect);
+  auto single = db_.ExecuteQuery(q);
+  auto sharded = cluster.ExecuteQuery(q, nullptr);
+  ASSERT_EQ(single.size(), sharded.size());
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i]->id, sharded[i]->id);  // identical ids, same order
+  }
+}
+
+TEST_F(GraphMppTest, MppEngineEndToEnd) {
+  MppCluster cluster(5, DistributionPolicy::kSemanticsAware);
+  cluster.BuildFrom(db_);
+  AiqlEngine engine(&cluster);
+  auto r = engine.Execute(R"(
+      agentid = 1
+      proc p1["%bash"] start proc p2 as evt1
+      proc p2 write file f1 as evt2
+      with evt1 before evt2
+      return distinct p1, p2, f1)");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace aiql
