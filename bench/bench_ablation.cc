@@ -43,6 +43,12 @@ int main() {
     w.Build();
     no_indexes.Finalize();
   }
+  Database row_store{DatabaseOptions{.layout = StorageLayout::kRowStore}};
+  {
+    Workload w(world.config, &row_store);
+    w.Build();
+    row_store.Finalize();
+  }
 
   struct Config {
     const char* name;
@@ -63,6 +69,8 @@ int main() {
       {"no storage partitioning", &no_partitions,
        {.parallelism = 2, .time_budget_ms = budget}},
       {"no secondary indexes", &no_indexes, {.parallelism = 2, .time_budget_ms = budget}},
+      {"row-store scan path (no columnar vectorization)", &row_store,
+       {.parallelism = 2, .time_budget_ms = budget}},
   };
 
   std::printf("%-55s %12s %9s\n", "configuration", "total (ms)", "vs full");

@@ -1,5 +1,6 @@
 // Micro-benchmarks (google-benchmark): ingest rate, LIKE matching, entity
-// index lookup, partition time-slice scans, hash vs nested-loop joins.
+// index lookup, partition time-slice scans, full-scan throughput per storage
+// layout (columnar vectorized vs row-store), hash vs nested-loop joins.
 // These quantify the primitive costs behind the macro benches.
 #include <benchmark/benchmark.h>
 
@@ -37,24 +38,31 @@ void BM_LikeMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_LikeMatch);
 
+Database* BuildSharedDb(StorageLayout layout) {
+  auto* d = new Database(DatabaseOptions{.layout = layout});
+  Rng rng(11);
+  std::vector<uint32_t> procs, files;
+  for (int i = 0; i < 64; ++i) {
+    procs.push_back(d->catalog().InternProcess(1, 1000 + i, "/bin/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 512; ++i) {
+    files.push_back(d->catalog().InternFile(1, "/data/f" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200000; ++i) {
+    d->RecordEvent(1, procs[rng.Below(procs.size())], Operation::kRead, EntityType::kFile,
+                   files[rng.Below(files.size())], rng.Below(3 * kDayMs), rng.Below(10000));
+  }
+  d->Finalize();
+  return d;
+}
+
 Database* SharedDb() {
-  static Database* db = [] {
-    auto* d = new Database();
-    Rng rng(11);
-    std::vector<uint32_t> procs, files;
-    for (int i = 0; i < 64; ++i) {
-      procs.push_back(d->catalog().InternProcess(1, 1000 + i, "/bin/p" + std::to_string(i)));
-    }
-    for (int i = 0; i < 512; ++i) {
-      files.push_back(d->catalog().InternFile(1, "/data/f" + std::to_string(i)));
-    }
-    for (int i = 0; i < 200000; ++i) {
-      d->RecordEvent(1, procs[rng.Below(procs.size())], Operation::kRead, EntityType::kFile,
-                     files[rng.Below(files.size())], rng.Below(3 * kDayMs));
-    }
-    d->Finalize();
-    return d;
-  }();
+  static Database* db = BuildSharedDb(StorageLayout::kColumnar);
+  return db;
+}
+
+Database* SharedRowStoreDb() {
+  static Database* db = BuildSharedDb(StorageLayout::kRowStore);
   return db;
 }
 
@@ -76,11 +84,42 @@ void BM_TimeSliceScan(benchmark::State& state) {
   DataQuery q;
   q.object_type = EntityType::kFile;
   q.time = TimeRange{kDayMs, kDayMs + state.range(0) * kMinuteMs};
+  ScanStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(db->ExecuteQuery(q));
+    ScanStats s;
+    benchmark::DoNotOptimize(db->ExecuteQuery(q, &s));
+    stats = s;
   }
+  // Time-bounded queries must skip the out-of-range day partitions.
+  state.counters["partitions_pruned"] = static_cast<double>(stats.partitions_pruned);
+  state.counters["events_skipped"] = static_cast<double>(stats.events_skipped);
 }
 BENCHMARK(BM_TimeSliceScan)->Arg(10)->Arg(60)->Arg(600);
+
+// Full-scan event throughput: columnar vectorized scan (arg 0) vs the
+// row-store baseline (arg 1) over the identical 200k-event stream, with a
+// half-selective amount filter as the only event predicate.
+void BM_FullScan(benchmark::State& state) {
+  Database* db = state.range(0) == 0 ? SharedDb() : SharedRowStoreDb();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  AttrPredicate pred;
+  pred.attr = "amount";
+  pred.op = CmpOp::kGe;
+  pred.values = {Value(int64_t{5000})};
+  q.event_pred = PredExpr::Leaf(pred);
+  ScanStats stats;
+  for (auto _ : state) {
+    ScanStats s;
+    benchmark::DoNotOptimize(db->ExecuteQuery(q, &s));
+    stats = s;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stats.events_scanned + stats.events_skipped));
+  state.counters["matched"] = static_cast<double>(stats.events_matched);
+  state.SetLabel(StorageLayoutName(db->options().layout));
+}
+BENCHMARK(BM_FullScan)->Arg(0)->Arg(1);
 
 void BM_PostingListFetch(benchmark::State& state) {
   Database* db = SharedDb();
@@ -102,10 +141,10 @@ void BM_Join(benchmark::State& state) {
   DataQuery q;
   q.object_type = EntityType::kFile;
   q.time = TimeRange{0, kDayMs / 4};
-  std::vector<const Event*> events = db->ExecuteQuery(q);
+  std::vector<EventView> events = db->ExecuteQuery(q);
   size_t half = events.size() / 2;
-  std::vector<const Event*> left(events.begin(), events.begin() + half);
-  std::vector<const Event*> right(events.begin() + half, events.end());
+  std::vector<EventView> left(events.begin(), events.begin() + half);
+  std::vector<EventView> right(events.begin() + half, events.end());
   TupleSet lt = TupleSet::FromMatches(0, left);
   TupleSet rt = TupleSet::FromMatches(1, right);
   Relationship rel;

@@ -85,7 +85,7 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   st->pattern_matches.assign(1, 0);
-  std::vector<const Event*> events =
+  std::vector<EventView> events =
       FetchDataQuery(db, ctx.patterns[0].query, options, pool, st);
   st->pattern_matches[0] = events.size();
   // Intra-pattern attribute relationships filter single events.
@@ -93,7 +93,7 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
     if (rel.IsIntraPattern()) {
       size_t w = 0;
       for (size_t i = 0; i < events.size(); ++i) {
-        if (CheckAttrRel(rel, *events[i], *events[i], db.catalog())) {
+        if (CheckAttrRel(rel, events[i], events[i], db.catalog())) {
           events[w++] = events[i];
         }
       }
@@ -119,7 +119,7 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
   // Events are sorted by start_time; window membership via binary search.
   auto lower = [&](TimestampMs t) {
     return std::lower_bound(events.begin(), events.end(), t,
-                            [](const Event* e, TimestampMs x) { return e->start_time < x; });
+                            [](const EventView& e, TimestampMs x) { return e.start_time() < x; });
   };
 
   for (TimestampMs ws = range.begin; ws < range.end; ws += step) {
@@ -128,9 +128,9 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
     auto last = lower(we);
 
     // Bucket this window's events by group key.
-    std::map<std::string, std::vector<std::vector<const Event*>>> window_rows;
+    std::map<std::string, std::vector<std::vector<EventView>>> window_rows;
     for (auto it = first; it != last; ++it) {
-      std::vector<const Event*> row{*it};
+      std::vector<EventView> row{*it};
       RowAccessor acc(row, pattern_order, db.catalog());
       std::vector<Value> key;
       for (const OutputItem& g : ctx.group_by) {
@@ -148,7 +148,7 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
     // that history offsets stay aligned across windows).
     for (auto& [ks, state] : groups) {
       auto rows_it = window_rows.find(ks);
-      static const std::vector<std::vector<const Event*>> kNoRows;
+      static const std::vector<std::vector<EventView>> kNoRows;
       const auto& rows = rows_it != window_rows.end() ? rows_it->second : kNoRows;
 
       std::unordered_map<std::string, Value> agg_values;
@@ -158,8 +158,8 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
       }
 
       // Items evaluated against a representative row + aggregate env.
-      std::vector<const Event*> empty_row;
-      const std::vector<const Event*>& rep = rows.empty() ? empty_row : rows.front();
+      std::vector<EventView> empty_row;
+      const std::vector<EventView>& rep = rows.empty() ? empty_row : rows.front();
       RowAccessor acc(rep, pattern_order, db.catalog());
       std::unordered_map<std::string, Value> computed;
       if (rows.empty()) {

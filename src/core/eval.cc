@@ -5,15 +5,15 @@
 
 namespace aiql {
 
-Value EndpointValue(const Event& e, RefSide side, const std::string& attr,
+Value EndpointValue(const EventView& e, RefSide side, const std::string& attr,
                     const EntityCatalog& catalog) {
   std::optional<Value> v;
   switch (side) {
     case RefSide::kSubject:
-      v = catalog.AttrOf(EntityType::kProcess, e.subject_idx, attr);
+      v = catalog.AttrOf(EntityType::kProcess, e.subject_idx(), attr);
       break;
     case RefSide::kObject:
-      v = catalog.AttrOf(e.object_type, e.object_idx, attr);
+      v = catalog.AttrOf(e.object_type(), e.object_idx(), attr);
       break;
     case RefSide::kEvent:
       v = GetEventAttr(e, catalog, attr);
@@ -24,7 +24,7 @@ Value EndpointValue(const Event& e, RefSide side, const std::string& attr,
   return v.value_or(Value());
 }
 
-bool CheckAttrRel(const AttrRelation& rel, const Event& le, const Event& re,
+bool CheckAttrRel(const AttrRelation& rel, const EventView& le, const EventView& re,
                   const EntityCatalog& catalog) {
   Value lv = EndpointValue(le, rel.left_side, rel.left_attr, catalog);
   Value rv = EndpointValue(re, rel.right_side, rel.right_attr, catalog);
@@ -46,9 +46,9 @@ bool CheckAttrRel(const AttrRelation& rel, const Event& le, const Event& re,
   }
 }
 
-bool CheckTempRel(const TempRelation& rel, const Event& le, const Event& re) {
-  TimestampMs lt = le.start_time;
-  TimestampMs rt = re.start_time;
+bool CheckTempRel(const TempRelation& rel, const EventView& le, const EventView& re) {
+  TimestampMs lt = le.start_time();
+  TimestampMs rt = re.start_time();
   switch (rel.order) {
     case ast::TempOrder::kBefore: {
       if (lt >= rt) {
@@ -110,7 +110,7 @@ std::vector<Relationship> InterPatternRelationships(const QueryContext& ctx) {
   return out;
 }
 
-RowAccessor::RowAccessor(const std::vector<const Event*>& row,
+RowAccessor::RowAccessor(const std::vector<EventView>& row,
                          const std::vector<size_t>& pattern_order, const EntityCatalog& catalog)
     : row_(row), catalog_(catalog) {
   size_t max_pattern = 0;
@@ -131,10 +131,10 @@ std::optional<Value> RowAccessor::Get(const ResolvedRef& ref) const {
     return std::nullopt;
   }
   int col = pattern_to_col_[ref.pattern];
-  if (col < 0 || static_cast<size_t>(col) >= row_.size() || row_[col] == nullptr) {
+  if (col < 0 || static_cast<size_t>(col) >= row_.size() || !row_[col].valid()) {
     return std::nullopt;
   }
-  return EndpointValue(*row_[col], ref.side, ref.attr, catalog_);
+  return EndpointValue(row_[col], ref.side, ref.attr, catalog_);
 }
 
 bool ValueTruthy(const Value& v) {

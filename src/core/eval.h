@@ -14,14 +14,14 @@ namespace aiql {
 
 // Value of a pattern endpoint (subject/object entity attribute or event
 // attribute) for a concrete matched event.
-Value EndpointValue(const Event& e, RefSide side, const std::string& attr,
+Value EndpointValue(const EventView& e, RefSide side, const std::string& attr,
                     const EntityCatalog& catalog);
 
 // True if the two concrete events satisfy the relationship. `le` matches the
 // relationship's left pattern, `re` the right one.
-bool CheckAttrRel(const AttrRelation& rel, const Event& le, const Event& re,
+bool CheckAttrRel(const AttrRelation& rel, const EventView& le, const EventView& re,
                   const EntityCatalog& catalog);
-bool CheckTempRel(const TempRelation& rel, const Event& le, const Event& re);
+bool CheckTempRel(const TempRelation& rel, const EventView& le, const EventView& re);
 
 // Unified relationship handle used by the schedulers.
 struct Relationship {
@@ -32,7 +32,7 @@ struct Relationship {
 
   size_t left() const { return kind == Kind::kAttr ? attr.left_pattern : temp.left_pattern; }
   size_t right() const { return kind == Kind::kAttr ? attr.right_pattern : temp.right_pattern; }
-  bool Check(const Event& le, const Event& re, const EntityCatalog& catalog) const {
+  bool Check(const EventView& le, const EventView& re, const EntityCatalog& catalog) const {
     return kind == Kind::kAttr ? CheckAttrRel(attr, le, re, catalog) : CheckTempRel(temp, le, re);
   }
 };
@@ -52,13 +52,13 @@ struct AliasEnv {
 class RowAccessor {
  public:
   // `row[i]` is the matched event of pattern `pattern_order[i]`.
-  RowAccessor(const std::vector<const Event*>& row, const std::vector<size_t>& pattern_order,
+  RowAccessor(const std::vector<EventView>& row, const std::vector<size_t>& pattern_order,
               const EntityCatalog& catalog);
 
   std::optional<Value> Get(const ResolvedRef& ref) const;
 
  private:
-  const std::vector<const Event*>& row_;
+  const std::vector<EventView>& row_;
   std::vector<int> pattern_to_col_;  // pattern index -> column in row_
   const EntityCatalog& catalog_;
 };

@@ -19,9 +19,9 @@ const char* SchedulerKindName(SchedulerKind k) {
   return "?";
 }
 
-std::vector<const Event*> FetchDataQuery(const EventStore& db, const DataQuery& query,
-                                         const ExecOptions& options, ThreadPool* pool,
-                                         ExecStats* stats) {
+std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
+                                      const ExecOptions& options, ThreadPool* pool,
+                                      ExecStats* stats) {
   ++stats->data_queries;
   TimeRange range = query.EffectiveTime().Intersect(db.data_time_range());
   bool can_split = pool != nullptr && options.parallelism > 1 &&
@@ -31,7 +31,7 @@ std::vector<const Event*> FetchDataQuery(const EventStore& db, const DataQuery& 
     int64_t last_day = DayIndex(range.end - 1);
     if (last_day > first_day) {
       size_t num_days = static_cast<size_t>(last_day - first_day + 1);
-      std::vector<std::vector<const Event*>> slices(num_days);
+      std::vector<std::vector<EventView>> slices(num_days);
       std::vector<ScanStats> slice_stats(num_days);
       pool->ParallelFor(num_days, [&](size_t k) {
         DataQuery sub = query;
@@ -40,7 +40,7 @@ std::vector<const Event*> FetchDataQuery(const EventStore& db, const DataQuery& 
         sub.pushed_time = query.pushed_time.has_value() ? query.pushed_time->Intersect(day) : day;
         slices[k] = db.ExecuteQuery(sub, &slice_stats[k]);
       });
-      std::vector<const Event*> out;
+      std::vector<EventView> out;
       size_t total = 0;
       for (const auto& s : slices) {
         total += s.size();
@@ -63,7 +63,7 @@ namespace {
 
 // Applies intra-pattern attribute relationships (e.g. p1.user = f1.owner
 // within one pattern) as a row filter on the pattern's matches.
-void ApplyIntraRels(const QueryContext& ctx, size_t pattern, std::vector<const Event*>* events,
+void ApplyIntraRels(const QueryContext& ctx, size_t pattern, std::vector<EventView>* events,
                     const EntityCatalog& catalog) {
   for (const AttrRelation& rel : ctx.attr_rels) {
     if (!rel.IsIntraPattern() || rel.left_pattern != pattern) {
@@ -71,7 +71,7 @@ void ApplyIntraRels(const QueryContext& ctx, size_t pattern, std::vector<const E
     }
     size_t w = 0;
     for (size_t i = 0; i < events->size(); ++i) {
-      if (CheckAttrRel(rel, *(*events)[i], *(*events)[i], catalog)) {
+      if (CheckAttrRel(rel, (*events)[i], (*events)[i], catalog)) {
         (*events)[w++] = (*events)[i];
       }
     }
@@ -188,7 +188,7 @@ class MultieventExecutor {
 
       std::unordered_set<Value, ValueHash> distinct;
       for (const auto& row : known.rows()) {
-        distinct.insert(EndpointValue(*row[source_col], source_side, source_attr, catalog));
+        distinct.insert(EndpointValue(row[source_col], source_side, source_attr, catalog));
         if (distinct.size() > options_.pushdown_value_limit) {
           return;  // candidate set too large to help
         }
@@ -215,7 +215,7 @@ class MultieventExecutor {
     if (rel.kind == Relationship::Kind::kTemp) {
       TimestampMs tmin = INT64_MAX, tmax = INT64_MIN;
       for (const auto& row : known.rows()) {
-        TimestampMs t = row[source_col]->start_time;
+        TimestampMs t = row[source_col].start_time();
         tmin = std::min(tmin, t);
         tmax = std::max(tmax, t);
       }
@@ -429,7 +429,7 @@ class MultieventExecutor {
   BudgetGuard budget_;
   TupleJoiner joiner_;
 
-  std::vector<std::vector<const Event*>> matches_;
+  std::vector<std::vector<EventView>> matches_;
   std::vector<bool> executed_;
   std::vector<std::shared_ptr<TupleSet>> m_;
 };

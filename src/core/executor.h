@@ -71,9 +71,9 @@ Result<TupleSet> ExecuteMultievent(const EventStore& db, const QueryContext& ctx
 
 // Fetches the events matching one data query, splitting a multi-day time
 // window into per-day sub-queries executed on the pool (when allowed).
-std::vector<const Event*> FetchDataQuery(const EventStore& db, const DataQuery& query,
-                                         const ExecOptions& options, ThreadPool* pool,
-                                         ExecStats* stats);
+std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
+                                      const ExecOptions& options, ThreadPool* pool,
+                                      ExecStats* stats);
 
 }  // namespace aiql
 

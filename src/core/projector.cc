@@ -53,7 +53,7 @@ std::vector<const Expr*> CollectAggregateCalls(const QueryContext& ctx) {
   return out;
 }
 
-Value ComputeAggregate(const Expr& call, const std::vector<std::vector<const Event*>>& rows,
+Value ComputeAggregate(const Expr& call, const std::vector<std::vector<EventView>>& rows,
                        const std::vector<size_t>& pattern_order, const EntityCatalog& catalog) {
   const std::string& func = call.func;
   if (func == "count" && call.children.empty()) {
@@ -210,7 +210,7 @@ Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tupl
   } else {
     // Group rows, compute aggregates per group.
     std::vector<const Expr*> agg_calls = CollectAggregateCalls(ctx);
-    std::map<std::string, std::pair<std::vector<Value>, std::vector<std::vector<const Event*>>>>
+    std::map<std::string, std::pair<std::vector<Value>, std::vector<std::vector<EventView>>>>
         groups;
     for (const auto& row : tuples.rows()) {
       RowAccessor acc(row, pattern_order, catalog);
@@ -238,8 +238,8 @@ Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tupl
             ComputeAggregate(*call, rows, pattern_order, catalog);
       }
       // Representative row gives the values of group keys / plain refs.
-      std::vector<const Event*> empty_row;
-      const std::vector<const Event*>& rep = rows.empty() ? empty_row : rows.front();
+      std::vector<EventView> empty_row;
+      const std::vector<EventView>& rep = rows.empty() ? empty_row : rows.front();
       RowAccessor acc(rep, pattern_order, catalog);
 
       std::unordered_map<std::string, Value> computed;

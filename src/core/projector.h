@@ -25,7 +25,7 @@ std::vector<const Expr*> CollectAggregateCalls(const QueryContext& ctx);
 
 // Computes one aggregate over a set of rows. `pattern_order` maps row columns
 // to pattern ids.
-Value ComputeAggregate(const Expr& call, const std::vector<std::vector<const Event*>>& rows,
+Value ComputeAggregate(const Expr& call, const std::vector<std::vector<EventView>>& rows,
                        const std::vector<size_t>& pattern_order, const EntityCatalog& catalog);
 
 // Applies sort-by keys (by output column), falling back to lexicographic row

@@ -22,11 +22,11 @@ Status BudgetGuard::Charge(size_t produced) {
   return Status::Ok();
 }
 
-TupleSet TupleSet::FromMatches(size_t pattern, std::vector<const Event*> matches) {
+TupleSet TupleSet::FromMatches(size_t pattern, std::vector<EventView> matches) {
   TupleSet t;
   t.patterns_.push_back(pattern);
   t.rows_.reserve(matches.size());
-  for (const Event* e : matches) {
+  for (const EventView& e : matches) {
     t.rows_.push_back({e});
   }
   return t;
@@ -41,15 +41,15 @@ int TupleSet::ColumnOf(size_t pattern) const {
   return -1;
 }
 
-std::vector<const Event*> TupleSet::DistinctEventsOf(size_t pattern) const {
+std::vector<EventView> TupleSet::DistinctEventsOf(size_t pattern) const {
   int col = ColumnOf(pattern);
-  std::vector<const Event*> out;
+  std::vector<EventView> out;
   if (col < 0) {
     return out;
   }
-  std::unordered_set<const Event*> seen;
+  std::unordered_set<EventView, EventViewHash> seen;
   for (const auto& row : rows_) {
-    const Event* e = row[col];
+    const EventView& e = row[col];
     if (seen.insert(e).second) {
       out.push_back(e);
     }
@@ -65,7 +65,7 @@ void TupleSet::Filter(const Relationship& rel, const EntityCatalog& catalog) {
   }
   size_t w = 0;
   for (size_t r = 0; r < rows_.size(); ++r) {
-    if (rel.Check(*rows_[r][lcol], *rows_[r][rcol], catalog)) {
+    if (rel.Check(rows_[r][lcol], rows_[r][rcol], catalog)) {
       if (w != r) {
         rows_[w] = std::move(rows_[r]);
       }
@@ -77,9 +77,9 @@ void TupleSet::Filter(const Relationship& rel, const EntityCatalog& catalog) {
 
 namespace {
 
-std::vector<const Event*> ConcatRows(const std::vector<const Event*>& a,
-                                     const std::vector<const Event*>& b) {
-  std::vector<const Event*> out;
+std::vector<EventView> ConcatRows(const std::vector<EventView>& a,
+                                  const std::vector<EventView>& b) {
+  std::vector<EventView> out;
   out.reserve(a.size() + b.size());
   out.insert(out.end(), a.begin(), a.end());
   out.insert(out.end(), b.begin(), b.end());
@@ -89,14 +89,14 @@ std::vector<const Event*> ConcatRows(const std::vector<const Event*>& a,
 }  // namespace
 
 bool TupleJoiner::RowPairSatisfies(const std::vector<Relationship>& rels, const TupleSet& left,
-                                   const TupleSet& right, const std::vector<const Event*>& lrow,
-                                   const std::vector<const Event*>& rrow) const {
+                                   const TupleSet& right, const std::vector<EventView>& lrow,
+                                   const std::vector<EventView>& rrow) const {
   for (const Relationship& rel : rels) {
     int lc = left.ColumnOf(rel.left());
-    const Event* le = lc >= 0 ? lrow[lc] : rrow[right.ColumnOf(rel.left())];
+    const EventView& le = lc >= 0 ? lrow[lc] : rrow[right.ColumnOf(rel.left())];
     int rc = left.ColumnOf(rel.right());
-    const Event* re = rc >= 0 ? lrow[rc] : rrow[right.ColumnOf(rel.right())];
-    if (!rel.Check(*le, *re, catalog_)) {
+    const EventView& re = rc >= 0 ? lrow[rc] : rrow[right.ColumnOf(rel.right())];
+    if (!rel.Check(le, re, catalog_)) {
       return false;
     }
   }
@@ -156,7 +156,7 @@ Result<TupleSet> TupleJoiner::HashJoin(const TupleSet& left, const TupleSet& rig
   std::unordered_map<size_t, std::vector<size_t>> buckets;
   buckets.reserve(right.rows().size() * 2);
   for (size_t j = 0; j < right.rows().size(); ++j) {
-    Value v = EndpointValue(*right.rows()[j][rcol], rside, rattr, catalog_);
+    Value v = EndpointValue(right.rows()[j][rcol], rside, rattr, catalog_);
     buckets[v.Hash()].push_back(j);
   }
 
@@ -164,14 +164,14 @@ Result<TupleSet> TupleJoiner::HashJoin(const TupleSet& left, const TupleSet& rig
   out.patterns_ = left.patterns();
   out.patterns_.insert(out.patterns_.end(), right.patterns().begin(), right.patterns().end());
   for (const auto& lrow : left.rows()) {
-    Value lv = EndpointValue(*lrow[lcol], lside, lattr, catalog_);
+    Value lv = EndpointValue(lrow[lcol], lside, lattr, catalog_);
     auto it = buckets.find(lv.Hash());
     if (it == buckets.end()) {
       continue;
     }
     for (size_t j : it->second) {
       const auto& rrow = right.rows()[j];
-      Value rv = EndpointValue(*rrow[rcol], rside, rattr, catalog_);
+      Value rv = EndpointValue(rrow[rcol], rside, rattr, catalog_);
       if (!(lv == rv)) {
         continue;  // hash collision
       }
@@ -203,11 +203,11 @@ Result<TupleSet> TupleJoiner::TemporalJoin(const TupleSet& left, const TupleSet&
     order[i] = i;
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return right.rows()[a][rcol]->start_time < right.rows()[b][rcol]->start_time;
+    return right.rows()[a][rcol].start_time() < right.rows()[b][rcol].start_time();
   });
   std::vector<TimestampMs> times(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
-    times[i] = right.rows()[order[i]][rcol]->start_time;
+    times[i] = right.rows()[order[i]][rcol].start_time();
   }
 
   // Admissible start-time interval of the right event given the left event.
@@ -241,7 +241,7 @@ Result<TupleSet> TupleJoiner::TemporalJoin(const TupleSet& left, const TupleSet&
   out.patterns_ = left.patterns();
   out.patterns_.insert(out.patterns_.end(), right.patterns().begin(), right.patterns().end());
   for (const auto& lrow : left.rows()) {
-    TimestampMs lt = lrow[lcol]->start_time;
+    TimestampMs lt = lrow[lcol].start_time();
     auto [tmin, tmax] = bounds(lt);
     auto first = std::lower_bound(times.begin(), times.end(), tmin);
     auto last = std::lower_bound(times.begin(), times.end(), tmax);
@@ -249,9 +249,9 @@ Result<TupleSet> TupleJoiner::TemporalJoin(const TupleSet& left, const TupleSet&
       size_t j = order[static_cast<size_t>(it - times.begin())];
       const auto& rrow = right.rows()[j];
       // Re-check the driving relationship exactly (lo=0 'within' etc.).
-      const Event* le = left_has_lhs ? lrow[lcol] : rrow[rcol];
-      const Event* re = left_has_lhs ? rrow[rcol] : lrow[lcol];
-      if (!CheckTempRel(rel, *le, *re)) {
+      const EventView& le = left_has_lhs ? lrow[lcol] : rrow[rcol];
+      const EventView& re = left_has_lhs ? rrow[rcol] : lrow[lcol];
+      if (!CheckTempRel(rel, le, re)) {
         continue;
       }
       if (!rest.empty() && !RowPairSatisfies(rest, left, right, lrow, rrow)) {

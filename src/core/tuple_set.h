@@ -46,10 +46,10 @@ class TupleSet {
  public:
   TupleSet() = default;
 
-  static TupleSet FromMatches(size_t pattern, std::vector<const Event*> matches);
+  static TupleSet FromMatches(size_t pattern, std::vector<EventView> matches);
 
   const std::vector<size_t>& patterns() const { return patterns_; }
-  const std::vector<std::vector<const Event*>>& rows() const { return rows_; }
+  const std::vector<std::vector<EventView>>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }
 
   // Column of `pattern` in each row; -1 if the pattern is not bound.
@@ -57,18 +57,18 @@ class TupleSet {
   bool Binds(size_t pattern) const { return ColumnOf(pattern) >= 0; }
 
   // Distinct events bound to `pattern` across all rows (document order).
-  std::vector<const Event*> DistinctEventsOf(size_t pattern) const;
+  std::vector<EventView> DistinctEventsOf(size_t pattern) const;
 
   // In-place filter by a relationship whose two patterns are both bound.
   void Filter(const Relationship& rel, const EntityCatalog& catalog);
 
-  std::vector<std::vector<const Event*>>* mutable_rows() { return &rows_; }
+  std::vector<std::vector<EventView>>* mutable_rows() { return &rows_; }
 
   friend class TupleJoiner;
 
  private:
   std::vector<size_t> patterns_;
-  std::vector<std::vector<const Event*>> rows_;
+  std::vector<std::vector<EventView>> rows_;
 };
 
 // Join strategy knobs. The AIQL engine uses hash joins for equality
@@ -103,8 +103,8 @@ class TupleJoiner {
                                   const std::vector<Relationship>& rels);
 
   bool RowPairSatisfies(const std::vector<Relationship>& rels, const TupleSet& left,
-                        const TupleSet& right, const std::vector<const Event*>& lrow,
-                        const std::vector<const Event*>& rrow) const;
+                        const TupleSet& right, const std::vector<EventView>& lrow,
+                        const std::vector<EventView>& rrow) const;
 
   const EntityCatalog& catalog_;
   BudgetGuard* budget_;

@@ -92,18 +92,18 @@ class Matcher {
       const Event* le = nullptr;
       const Event* re = nullptr;
       if (ar.left_pattern == i && (ar.right_pattern < i || ar.IsIntraPattern())) {
-        le = rel.origin;
-        re = ar.IsIntraPattern() ? rel.origin : chosen_[ar.right_pattern];
+        le = &rel.origin;
+        re = ar.IsIntraPattern() ? &rel.origin : chosen_[ar.right_pattern];
       } else if (ar.right_pattern == i && ar.left_pattern < i) {
         le = chosen_[ar.left_pattern];
-        re = rel.origin;
+        re = &rel.origin;
       } else {
         continue;
       }
       if (le == nullptr || re == nullptr) {
         continue;
       }
-      if (!CheckAttrRel(ar, *le, *re, graph_.catalog())) {
+      if (!CheckAttrRel(ar, EventView(le), EventView(re), graph_.catalog())) {
         return false;
       }
     }
@@ -111,15 +111,15 @@ class Matcher {
       const Event* le = nullptr;
       const Event* re = nullptr;
       if (tr.left_pattern == i && tr.right_pattern < i) {
-        le = rel.origin;
+        le = &rel.origin;
         re = chosen_[tr.right_pattern];
       } else if (tr.right_pattern == i && tr.left_pattern < i) {
         le = chosen_[tr.left_pattern];
-        re = rel.origin;
+        re = &rel.origin;
       } else {
         continue;
       }
-      if (!CheckTempRel(tr, *le, *re)) {
+      if (!CheckTempRel(tr, EventView(le), EventView(re))) {
         return false;
       }
     }
@@ -172,7 +172,12 @@ class Matcher {
 
   Status Recurse(size_t i) {
     if (i == ctx_.patterns.size()) {
-      rows_.push_back(chosen_);
+      std::vector<EventView> row;
+      row.reserve(chosen_.size());
+      for (const Event* e : chosen_) {
+        row.push_back(EventView(e));
+      }
+      rows_.push_back(std::move(row));
       ++stats_->rows_emitted;
       return Status::Ok();
     }
@@ -204,7 +209,7 @@ class Matcher {
       if (bound_obj) {
         bindings_[pc.object_var] = rel.dst;
       }
-      chosen_[i] = rel.origin;
+      chosen_[i] = &rel.origin;
       s = Recurse(i + 1);
       chosen_[i] = nullptr;
       if (bound_subj) {
@@ -229,7 +234,7 @@ class Matcher {
 
   std::unordered_map<std::string, uint32_t> bindings_;
   std::vector<const Event*> chosen_;
-  std::vector<std::vector<const Event*>> rows_;
+  std::vector<std::vector<EventView>> rows_;
 
   friend class ::aiql::GraphEngine;
 };
@@ -250,7 +255,7 @@ Result<ResultTable> GraphEngine::Execute(const QueryContext& ctx) {
   // Assemble the tuple set over patterns 0..n-1 from the collected rows.
   TupleSet tuples;
   if (ctx.patterns.size() == 1) {
-    std::vector<const Event*> matches;
+    std::vector<EventView> matches;
     matches.reserve(matcher.rows_.size());
     for (const auto& row : matcher.rows_) {
       matches.push_back(row[0]);

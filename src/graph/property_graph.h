@@ -35,7 +35,9 @@ class PropertyGraph {
     uint32_t src = 0;  // subject node
     uint32_t dst = 0;  // object node
     std::unordered_map<std::string, Value> props;
-    const Event* origin = nullptr;  // source event (for result projection)
+    // Source event, stored by value: the graph owns its import (the source
+    // database's columnar partitions expose no stable Event pointers).
+    Event origin;
   };
 
   // Imports all entities and events of a finalized database.

@@ -76,9 +76,9 @@ size_t MppCluster::num_events() const {
   return total;
 }
 
-std::vector<const Event*> MppCluster::ExecuteQuery(const DataQuery& query,
-                                                   ScanStats* stats) const {
-  std::vector<std::vector<const Event*>> partials(segments_.size());
+std::vector<EventView> MppCluster::ExecuteQuery(const DataQuery& query,
+                                                ScanStats* stats) const {
+  std::vector<std::vector<EventView>> partials(segments_.size());
   std::vector<ScanStats> partial_stats(segments_.size());
   pool_->ParallelFor(segments_.size(), [&](size_t i) {
     partials[i] = segments_[i]->ExecuteQuery(query, &partial_stats[i]);
@@ -90,14 +90,12 @@ std::vector<const Event*> MppCluster::ExecuteQuery(const DataQuery& query,
       *stats += partial_stats[i];
     }
   }
-  std::vector<const Event*> out;
+  std::vector<EventView> out;
   out.reserve(total);
   for (const auto& p : partials) {
     out.insert(out.end(), p.begin(), p.end());
   }
-  std::sort(out.begin(), out.end(), [](const Event* a, const Event* b) {
-    return a->start_time != b->start_time ? a->start_time < b->start_time : a->id < b->id;
-  });
+  SortByTimeThenId(&out);
   return out;
 }
 

@@ -46,8 +46,8 @@ class MppCluster : public EventStore {
 
   // EventStore interface: scatter/gather with parallel segment scans.
   const EntityCatalog& catalog() const override { return *catalog_; }
-  std::vector<const Event*> ExecuteQuery(const DataQuery& query,
-                                         ScanStats* stats) const override;
+  std::vector<EventView> ExecuteQuery(const DataQuery& query,
+                                      ScanStats* stats) const override;
   TimeRange data_time_range() const override { return range_; }
   bool SupportsDaySplit() const override { return false; }  // own parallelism
 

@@ -60,8 +60,9 @@ struct DataQuery {
 struct ScanStats {
   uint64_t events_scanned = 0;    // events touched by any access path
   uint64_t events_matched = 0;
-  uint64_t partitions_pruned = 0;
+  uint64_t partitions_pruned = 0;  // partitions skipped (scheme keys or zone maps)
   uint64_t partitions_scanned = 0;
+  uint64_t events_skipped = 0;     // events inside pruned partitions, never touched
   uint64_t index_lookups = 0;
 
   ScanStats& operator+=(const ScanStats& o) {
@@ -69,6 +70,7 @@ struct ScanStats {
     events_matched += o.events_matched;
     partitions_pruned += o.partitions_pruned;
     partitions_scanned += o.partitions_scanned;
+    events_skipped += o.events_skipped;
     index_lookups += o.index_lookups;
     return *this;
   }

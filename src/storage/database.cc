@@ -24,11 +24,13 @@ PartitionKey Database::KeyFor(AgentId agent, TimestampMs t) const {
 
 Partition& Database::PartitionFor(AgentId agent, TimestampMs t) {
   PartitionKey key = KeyFor(agent, t);
-  auto map_key = std::make_pair(key.day_index, key.agent_group);
-  auto it = partitions_.find(map_key);
-  if (it == partitions_.end()) {
-    it = partitions_.emplace(map_key, std::make_unique<Partition>(key)).first;
+  auto cached = partition_lookup_.find(key);
+  if (cached != partition_lookup_.end()) {
+    return *cached->second;
   }
+  auto map_key = std::make_pair(key.day_index, key.agent_group);
+  auto it = partitions_.emplace(map_key, std::make_unique<Partition>(key)).first;
+  partition_lookup_.emplace(key, it->second.get());
   return *it->second;
 }
 
@@ -73,7 +75,7 @@ void Database::Finalize() {
     return;
   }
   for (auto& [key, p] : partitions_) {
-    p->Finalize(options_.build_indexes);
+    p->Finalize(options_.build_indexes, options_.layout);
   }
   BuildEntityIndexes();
   finalized_ = true;
@@ -129,9 +131,18 @@ std::vector<uint32_t> Database::FindEntities(EntityType t, const PredExpr& pred,
           index = &net_dstip_index_;
           break;
       }
+      // Index keys are interned lowercase at Finalize(); fold each candidate
+      // value into a reused scratch buffer instead of allocating two strings
+      // per value (pushdown IN lists reach 10^5 candidates per query).
+      std::string key_scratch;
       for (const Value& v : values) {
         ++st->index_lookups;
-        auto it = index->find(ToLower(v.ToString()));
+        if (v.is_string()) {
+          ToLowerInto(v.as_string(), &key_scratch);
+        } else {
+          ToLowerInto(v.ToString(), &key_scratch);
+        }
+        auto it = index->find(key_scratch);
         if (it == index->end()) {
           continue;
         }
@@ -165,10 +176,17 @@ std::vector<uint32_t> Database::FindEntities(EntityType t, const PredExpr& pred,
   return out;
 }
 
-std::vector<const Event*> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
+std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
   assert(finalized_ && "Database::Execute before Finalize()");
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
+
+  // Compile the event predicate once per query: an op-mask refinement plus
+  // vectorizable column filters drive both zone-map pruning and the scan.
+  CompiledEventPred compiled = CompileEventPred(q.event_pred);
+  if ((q.op_mask & compiled.op_mask) == 0) {
+    return {};
+  }
 
   // Resolve candidate entity sets from predicates and pushdown.
   std::optional<std::unordered_set<uint32_t>> subject_set;
@@ -235,45 +253,39 @@ std::vector<const Event*> Database::ExecuteQuery(const DataQuery& q, ScanStats* 
   }
 
   TimeRange range = q.EffectiveTime();
-  std::vector<const Event*> out;
+  std::vector<EventView> out;
   for (const auto& [key, p] : partitions_) {
     if (options_.scheme == PartitionScheme::kTimeSpace) {
-      // Partition pruning along both dimensions.
+      // Partition pruning along both key dimensions.
       TimeRange day{DayStart(key.first), DayStart(key.first + 1)};
       if (!range.Overlaps(day) ||
           (q.agent_ids.has_value() && agent_groups.count(key.second) == 0)) {
         ++st->partitions_pruned;
+        st->events_skipped += p->size();
         continue;
       }
     }
-    ++st->partitions_scanned;
-    size_t before = out.size();
-    p->Execute(q, *catalog_,
-               subject_set.has_value() ? &*subject_set : nullptr,
-               object_set.has_value() ? &*object_set : nullptr, &out, st);
-    // Partition groups may hold several agents; enforce exact agent match.
-    if (q.agent_ids.has_value()) {
-      size_t w = before;
-      for (size_t r = before; r < out.size(); ++r) {
-        if (agent_set.count(out[r]->agent_id) > 0) {
-          out[w++] = out[r];
-        }
-      }
-      out.resize(w);
+    // Zone-map pruning: skip the partition when no stored event can satisfy
+    // the operation mask, object type, agent set, or compiled column filters.
+    if (!p->CanMatch(range, q, compiled)) {
+      ++st->partitions_pruned;
+      st->events_skipped += p->size();
+      continue;
     }
+    ++st->partitions_scanned;
+    p->Execute(q, compiled, *catalog_,
+               subject_set.has_value() ? &*subject_set : nullptr,
+               object_set.has_value() ? &*object_set : nullptr,
+               q.agent_ids.has_value() ? &agent_set : nullptr, &out, st);
   }
 
-  std::sort(out.begin(), out.end(), [](const Event* a, const Event* b) {
-    return a->start_time != b->start_time ? a->start_time < b->start_time : a->id < b->id;
-  });
+  SortByTimeThenId(&out);
   return out;
 }
 
 void Database::ForEachEvent(const std::function<void(const Event&)>& fn) const {
   for (const auto& [key, p] : partitions_) {
-    for (const Event& e : p->events()) {
-      fn(e);
-    }
+    p->ForEachEvent(fn);
   }
 }
 

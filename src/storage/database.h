@@ -43,6 +43,9 @@ struct DatabaseOptions {
   PartitionScheme scheme = PartitionScheme::kTimeSpace;
   uint32_t agent_group_size = 4;  // agents per spatial partition group
   bool build_indexes = true;      // entity hash indexes + posting lists
+  // Partition storage layout: columnar (zone maps + vectorized scans, the
+  // AIQL configuration) or the row-store baseline for ablations.
+  StorageLayout layout = StorageLayout::kColumnar;
 };
 
 class Database : public EventStore {
@@ -90,8 +93,9 @@ class Database : public EventStore {
 
   // Executes a data query. Results are sorted by (start_time, id) so that all
   // engines and schedulers produce deterministic, comparable output.
-  std::vector<const Event*> ExecuteQuery(const DataQuery& q,
-                                         ScanStats* stats = nullptr) const override;
+  // Partitions are skipped via scheme keys and zone maps before any scan.
+  std::vector<EventView> ExecuteQuery(const DataQuery& q,
+                                      ScanStats* stats = nullptr) const override;
 
   // The distinct day indices covered by ingested data (for time-window
   // partitioned parallel execution).
@@ -107,6 +111,9 @@ class Database : public EventStore {
   DatabaseOptions options_;
   std::shared_ptr<EntityCatalog> catalog_;
   std::map<std::pair<int64_t, uint32_t>, std::unique_ptr<Partition>> partitions_;
+  // O(1) partition lookup for the ingest hot path; partitions_ keeps the
+  // ordered iteration that ForEachEvent/DayIndices rely on.
+  std::unordered_map<PartitionKey, Partition*, PartitionKeyHash> partition_lookup_;
   std::unordered_map<AgentId, int64_t> agent_seq_;
   int64_t next_event_id_ = 1;
   size_t num_events_ = 0;

@@ -1,5 +1,6 @@
 #include "src/storage/event.h"
 
+#include "src/storage/event_view.h"
 #include "src/util/string_utils.h"
 
 namespace aiql {
@@ -40,35 +41,40 @@ std::optional<Operation> ParseOperation(std::string_view name) {
 
 std::optional<Value> GetEventAttr(const Event& e, const EntityCatalog& catalog,
                                   std::string_view attr) {
+  return GetEventAttr(EventView(&e), catalog, attr);
+}
+
+std::optional<Value> GetEventAttr(const EventView& v, const EntityCatalog& catalog,
+                                  std::string_view attr) {
   if (attr == "id") {
-    return Value(e.id);
+    return Value(v.id());
   }
   if (attr == "seq" || attr == "sequence") {
-    return Value(e.seq);
+    return Value(v.seq());
   }
   if (attr == "agentid" || attr == "agent_id") {
-    return Value(static_cast<int64_t>(e.agent_id));
+    return Value(static_cast<int64_t>(v.agent_id()));
   }
   if (attr == "optype" || attr == "op" || attr == "operation") {
-    return Value(OperationName(e.op));
+    return Value(OperationName(v.op()));
   }
   if (attr == "start_time" || attr == "starttime") {
-    return Value(e.start_time);
+    return Value(v.start_time());
   }
   if (attr == "end_time" || attr == "endtime") {
-    return Value(e.end_time);
+    return Value(v.end_time());
   }
   if (attr == "amount") {
-    return Value(e.amount);
+    return Value(v.amount());
   }
   if (attr == "failure_code" || attr == "failurecode" || attr == "access") {
-    return Value(static_cast<int64_t>(e.failure_code));
+    return Value(static_cast<int64_t>(v.failure_code()));
   }
   if (attr == "subject_id" || attr == "subjectid") {
-    return Value(catalog.IdOf(EntityType::kProcess, e.subject_idx));
+    return Value(catalog.IdOf(EntityType::kProcess, v.subject_idx()));
   }
   if (attr == "object_id" || attr == "objectid") {
-    return Value(catalog.IdOf(e.object_type, e.object_idx));
+    return Value(catalog.IdOf(v.object_type(), v.object_idx()));
   }
   return std::nullopt;
 }

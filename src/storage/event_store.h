@@ -12,6 +12,7 @@
 #include "src/storage/data_query.h"
 #include "src/storage/entity.h"
 #include "src/storage/event.h"
+#include "src/storage/event_view.h"
 #include "src/util/time_utils.h"
 
 namespace aiql {
@@ -22,9 +23,10 @@ class EventStore {
 
   virtual const EntityCatalog& catalog() const = 0;
 
-  // Executes a data query; results sorted by (start_time, id).
-  virtual std::vector<const Event*> ExecuteQuery(const DataQuery& query,
-                                                 ScanStats* stats) const = 0;
+  // Executes a data query; results sorted by (start_time, id). Views stay
+  // valid for the lifetime of the store (until re-finalization).
+  virtual std::vector<EventView> ExecuteQuery(const DataQuery& query,
+                                              ScanStats* stats) const = 0;
 
   virtual TimeRange data_time_range() const = 0;
 

@@ -14,11 +14,15 @@ constexpr size_t kPostingCandidateLimit = 4096;
 
 bool EventMatches(const Event& e, const DataQuery& q, const EntityCatalog& catalog,
                   const std::unordered_set<uint32_t>* subject_set,
-                  const std::unordered_set<uint32_t>* object_set) {
+                  const std::unordered_set<uint32_t>* object_set,
+                  const std::unordered_set<AgentId>* agent_set) {
   if ((OpBit(e.op) & q.op_mask) == 0) {
     return false;
   }
   if (e.object_type != q.object_type) {
+    return false;
+  }
+  if (agent_set != nullptr && agent_set->count(e.agent_id) == 0) {
     return false;
   }
   if (subject_set != nullptr && subject_set->count(e.subject_idx) == 0) {
@@ -36,13 +40,67 @@ bool EventMatches(const Event& e, const DataQuery& q, const EntityCatalog& catal
   return true;
 }
 
+// Keeps only the selected rows for which `keep` returns true.
+template <typename Keep>
+void FilterSel(std::vector<uint32_t>* sel, Keep keep) {
+  size_t w = 0;
+  for (uint32_t r : *sel) {
+    if (keep(r)) {
+      (*sel)[w++] = r;
+    }
+  }
+  sel->resize(w);
+}
+
+template <typename T>
+void FilterSelByColumn(std::vector<uint32_t>* sel, const std::vector<T>& col,
+                       const ColumnFilter& f) {
+  FilterSel(sel, [&](uint32_t r) { return f.Matches(static_cast<int64_t>(col[r])); });
+}
+
 }  // namespace
 
-void Partition::Finalize(bool build_indexes) {
+const char* StorageLayoutName(StorageLayout layout) {
+  switch (layout) {
+    case StorageLayout::kColumnar:
+      return "columnar";
+    case StorageLayout::kRowStore:
+      return "rowstore";
+  }
+  return "?";
+}
+
+void Partition::Append(const Event& e) {
+  if (finalized_columnar()) {
+    Rehydrate();
+  }
+  finalized_ = false;
+  events_.push_back(e);
+}
+
+void Partition::Rehydrate() {
+  events_.reserve(cols_.size());
+  for (uint32_t i = 0; i < cols_.size(); ++i) {
+    events_.push_back(cols_.Materialize(i));
+  }
+  cols_.Clear();
+  finalized_ = false;
+}
+
+void Partition::Finalize(bool build_indexes, StorageLayout layout) {
+  if (finalized_columnar()) {
+    Rehydrate();  // re-finalization over new layout/options
+  }
+  layout_ = layout;
   std::stable_sort(events_.begin(), events_.end(),
                    [](const Event& a, const Event& b) { return a.start_time < b.start_time; });
-  min_time_ = events_.empty() ? INT64_MAX : events_.front().start_time;
-  max_time_ = events_.empty() ? INT64_MIN : events_.back().start_time;
+
+  zone_ = ZoneMap();
+  for (const Event& e : events_) {
+    zone_.Observe(e);
+  }
+  zone_.Seal();
+
   subject_postings_.clear();
   object_postings_.clear();
   if (build_indexes) {
@@ -53,10 +111,39 @@ void Partition::Finalize(bool build_indexes) {
     }
   }
   has_indexes_ = build_indexes;
+
+  if (layout_ == StorageLayout::kColumnar) {
+    cols_.Clear();
+    cols_.Reserve(events_.size());
+    for (const Event& e : events_) {
+      cols_.Append(e);
+    }
+    events_.clear();
+    events_.shrink_to_fit();
+  }
   finalized_ = true;
 }
 
+void Partition::ForEachEvent(const std::function<void(const Event&)>& fn) const {
+  if (finalized_columnar()) {
+    for (uint32_t i = 0; i < cols_.size(); ++i) {
+      Event e = cols_.Materialize(i);
+      fn(e);
+    }
+    return;
+  }
+  for (const Event& e : events_) {
+    fn(e);
+  }
+}
+
 std::pair<size_t, size_t> Partition::TimeSlice(const TimeRange& range) const {
+  if (finalized_columnar()) {
+    const auto& ts = cols_.start_time;
+    auto lo = std::lower_bound(ts.begin(), ts.end(), range.begin);
+    auto hi = std::lower_bound(ts.begin(), ts.end(), range.end);
+    return {static_cast<size_t>(lo - ts.begin()), static_cast<size_t>(hi - ts.begin())};
+  }
   auto lo = std::lower_bound(events_.begin(), events_.end(), range.begin,
                              [](const Event& e, TimestampMs t) { return e.start_time < t; });
   auto hi = std::lower_bound(events_.begin(), events_.end(), range.end,
@@ -64,27 +151,220 @@ std::pair<size_t, size_t> Partition::TimeSlice(const TimeRange& range) const {
   return {static_cast<size_t>(lo - events_.begin()), static_cast<size_t>(hi - events_.begin())};
 }
 
-void Partition::ScanRange(size_t begin, size_t end, const DataQuery& q,
-                          const EntityCatalog& catalog,
-                          const std::unordered_set<uint32_t>* subject_set,
-                          const std::unordered_set<uint32_t>* object_set,
-                          std::vector<const Event*>* out, ScanStats* stats) const {
-  for (size_t i = begin; i < end; ++i) {
+bool Partition::CanMatch(const TimeRange& range, const DataQuery& q,
+                         const CompiledEventPred& pred) const {
+  if (size() == 0) {
+    return false;
+  }
+  if (range.begin > max_time() || range.end <= min_time()) {
+    return false;
+  }
+  OpMask mask = static_cast<OpMask>(q.op_mask & pred.op_mask);
+  if ((zone_.op_mask & mask) == 0) {
+    return false;
+  }
+  if ((zone_.object_type_mask & (1u << static_cast<int>(q.object_type))) == 0) {
+    return false;
+  }
+  if (q.agent_ids.has_value() && !zone_.ContainsAnyAgent(*q.agent_ids)) {
+    return false;
+  }
+  for (const ColumnFilter& f : pred.filters) {
+    if (!f.CanMatchRange(zone_.MinOf(f.col), zone_.MaxOf(f.col))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Partition::PostingCandidates(const DataQuery& q,
+                                  const std::unordered_set<uint32_t>* subject_set,
+                                  const std::unordered_set<uint32_t>* object_set, size_t lo,
+                                  size_t hi, std::vector<uint32_t>* offsets,
+                                  ScanStats* stats) const {
+  if (!has_indexes_) {
+    return false;
+  }
+  const bool subj_indexed = subject_set != nullptr && subject_set->size() <= kPostingCandidateLimit;
+  const bool obj_indexed = object_set != nullptr && object_set->size() <= kPostingCandidateLimit;
+  if (!subj_indexed && !obj_indexed) {
+    return false;
+  }
+  // Prefer the smaller candidate set.
+  bool use_subject = subj_indexed;
+  if (subj_indexed && obj_indexed) {
+    use_subject = subject_set->size() <= object_set->size();
+  }
+  std::vector<uint32_t> raw;
+  if (use_subject) {
+    for (uint32_t idx : *subject_set) {
+      ++stats->index_lookups;
+      auto it = subject_postings_.find(idx);
+      if (it != subject_postings_.end()) {
+        raw.insert(raw.end(), it->second.begin(), it->second.end());
+      }
+    }
+  } else {
+    for (uint32_t idx : *object_set) {
+      ++stats->index_lookups;
+      auto it = object_postings_.find(PackObject(q.object_type, idx));
+      if (it != object_postings_.end()) {
+        raw.insert(raw.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  std::sort(raw.begin(), raw.end());
+  offsets->reserve(raw.size());
+  for (uint32_t off : raw) {
+    if (off >= lo && off < hi) {
+      offsets->push_back(off);
+    }
+  }
+  return true;
+}
+
+void Partition::ScanOffsetsRows(const std::vector<uint32_t>& offsets, const DataQuery& q,
+                                const EntityCatalog& catalog,
+                                const std::unordered_set<uint32_t>* subject_set,
+                                const std::unordered_set<uint32_t>* object_set,
+                                const std::unordered_set<AgentId>* agent_set,
+                                std::vector<EventView>* out, ScanStats* stats) const {
+  for (uint32_t off : offsets) {
     ++stats->events_scanned;
-    const Event& e = events_[i];
-    if (EventMatches(e, q, catalog, subject_set, object_set)) {
+    const Event& e = events_[off];
+    if (EventMatches(e, q, catalog, subject_set, object_set, agent_set)) {
       ++stats->events_matched;
-      out->push_back(&e);
+      out->push_back(EventView(&e));
     }
   }
 }
 
-void Partition::Execute(const DataQuery& q, const EntityCatalog& catalog,
+bool Partition::AgentFilterActive(const std::unordered_set<AgentId>* agent_set) const {
+  if (agent_set == nullptr) {
+    return false;
+  }
+  for (AgentId a : zone_.agents) {
+    if (agent_set->count(a) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Partition::NeedsFiltering(const DataQuery& q, const CompiledEventPred& pred,
+                               const std::unordered_set<uint32_t>* subject_set,
+                               const std::unordered_set<uint32_t>* object_set,
+                               const std::unordered_set<AgentId>* agent_set) const {
+  if (OpFilterActive(static_cast<OpMask>(q.op_mask & pred.op_mask))) {
+    return true;
+  }
+  if (TypeFilterActive(q.object_type)) {
+    return true;
+  }
+  if (subject_set != nullptr || object_set != nullptr) {
+    return true;
+  }
+  if (!pred.residual.is_true()) {
+    return true;
+  }
+  for (const ColumnFilter& f : pred.filters) {
+    if (ColumnFilterActive(f)) {
+      return true;
+    }
+  }
+  return AgentFilterActive(agent_set);
+}
+
+void Partition::VectorScan(std::vector<uint32_t>* sel, const DataQuery& q,
+                           const CompiledEventPred& pred, const EntityCatalog& catalog,
+                           const std::unordered_set<uint32_t>* subject_set,
+                           const std::unordered_set<uint32_t>* object_set,
+                           const std::unordered_set<AgentId>* agent_set,
+                           std::vector<EventView>* out, ScanStats* stats) const {
+  stats->events_scanned += sel->size();
+
+  // Operation mask — skipped when the zone map proves every row qualifies.
+  OpMask mask = static_cast<OpMask>(q.op_mask & pred.op_mask);
+  if (OpFilterActive(mask)) {
+    FilterSel(sel, [&](uint32_t r) { return (OpBit(cols_.op[r]) & mask) != 0; });
+  }
+
+  // Object entity type — partitions usually hold a mix of types.
+  if (TypeFilterActive(q.object_type)) {
+    FilterSel(sel, [&](uint32_t r) { return cols_.object_type[r] == q.object_type; });
+  }
+
+  // Compiled numeric filters, cheapest predicates first; each is skipped when
+  // the zone map proves it true for the whole partition.
+  for (const ColumnFilter& f : pred.filters) {
+    if (sel->empty()) {
+      break;
+    }
+    if (!ColumnFilterActive(f)) {
+      continue;
+    }
+    switch (f.col) {
+      case NumericColumn::kId:
+        FilterSelByColumn(sel, cols_.id, f);
+        break;
+      case NumericColumn::kSeq:
+        FilterSelByColumn(sel, cols_.seq, f);
+        break;
+      case NumericColumn::kAgentId:
+        FilterSelByColumn(sel, cols_.agent_id, f);
+        break;
+      case NumericColumn::kStartTime:
+        FilterSelByColumn(sel, cols_.start_time, f);
+        break;
+      case NumericColumn::kEndTime:
+        FilterSelByColumn(sel, cols_.end_time, f);
+        break;
+      case NumericColumn::kAmount:
+        FilterSelByColumn(sel, cols_.amount, f);
+        break;
+      case NumericColumn::kFailureCode:
+        FilterSelByColumn(sel, cols_.failure_code, f);
+        break;
+    }
+  }
+
+  // Spatial constraint — skipped when every agent in the partition qualifies.
+  if (!sel->empty() && AgentFilterActive(agent_set)) {
+    FilterSel(sel, [&](uint32_t r) { return agent_set->count(cols_.agent_id[r]) > 0; });
+  }
+
+  // Entity membership probes.
+  if (subject_set != nullptr && !sel->empty()) {
+    FilterSel(sel, [&](uint32_t r) { return subject_set->count(cols_.subject_idx[r]) > 0; });
+  }
+  if (object_set != nullptr && !sel->empty()) {
+    FilterSel(sel, [&](uint32_t r) { return object_set->count(cols_.object_idx[r]) > 0; });
+  }
+
+  // Residual predicate: row-at-a-time over whatever survives.
+  if (!pred.residual.is_true() && !sel->empty()) {
+    FilterSel(sel, [&](uint32_t r) {
+      EventView v(&cols_, r);
+      auto source = [&](std::string_view attr) { return GetEventAttr(v, catalog, attr); };
+      return pred.residual.Eval(source);
+    });
+  }
+
+  stats->events_matched += sel->size();
+  out->reserve(out->size() + sel->size());
+  for (uint32_t r : *sel) {
+    out->push_back(EventView(&cols_, r));
+  }
+}
+
+void Partition::Execute(const DataQuery& q, const CompiledEventPred& pred,
+                        const EntityCatalog& catalog,
                         const std::unordered_set<uint32_t>* subject_set,
                         const std::unordered_set<uint32_t>* object_set,
-                        std::vector<const Event*>* out, ScanStats* stats) const {
+                        const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
+                        ScanStats* stats) const {
   TimeRange range = q.EffectiveTime();
-  if (range.empty() || events_.empty() || range.begin > max_time_ || range.end <= min_time_) {
+  if (range.empty() || size() == 0 || range.begin > max_time() || range.end <= min_time()) {
     return;
   }
   auto [lo, hi] = TimeSlice(range);
@@ -94,51 +374,43 @@ void Partition::Execute(const DataQuery& q, const EntityCatalog& catalog,
 
   // Access path selection: when a side has a small candidate set and postings
   // exist, union the posting lists instead of scanning the time slice.
-  if (has_indexes_) {
-    const bool subj_indexed =
-        subject_set != nullptr && subject_set->size() <= kPostingCandidateLimit;
-    const bool obj_indexed = object_set != nullptr && object_set->size() <= kPostingCandidateLimit;
-    if (subj_indexed || obj_indexed) {
-      // Prefer the smaller candidate set.
-      bool use_subject = subj_indexed;
-      if (subj_indexed && obj_indexed) {
-        use_subject = subject_set->size() <= object_set->size();
-      }
-      std::vector<uint32_t> offsets;
-      if (use_subject) {
-        for (uint32_t idx : *subject_set) {
-          ++stats->index_lookups;
-          auto it = subject_postings_.find(idx);
-          if (it != subject_postings_.end()) {
-            offsets.insert(offsets.end(), it->second.begin(), it->second.end());
-          }
-        }
-      } else {
-        for (uint32_t idx : *object_set) {
-          ++stats->index_lookups;
-          auto it = object_postings_.find(PackObject(q.object_type, idx));
-          if (it != object_postings_.end()) {
-            offsets.insert(offsets.end(), it->second.begin(), it->second.end());
-          }
-        }
-      }
-      std::sort(offsets.begin(), offsets.end());
-      for (uint32_t off : offsets) {
-        if (off < lo || off >= hi) {
-          continue;
-        }
-        ++stats->events_scanned;
-        const Event& e = events_[off];
-        if (EventMatches(e, q, catalog, subject_set, object_set)) {
-          ++stats->events_matched;
-          out->push_back(&e);
-        }
+  std::vector<uint32_t> sel;
+  bool from_postings = PostingCandidates(q, subject_set, object_set, lo, hi, &sel, stats);
+
+  if (finalized_columnar()) {
+    // Fast path: the zone map proves every row in the slice matches — emit
+    // the whole range without materializing a selection vector.
+    if (!from_postings && !NeedsFiltering(q, pred, subject_set, object_set, agent_set)) {
+      stats->events_scanned += hi - lo;
+      stats->events_matched += hi - lo;
+      out->reserve(out->size() + (hi - lo));
+      for (size_t i = lo; i < hi; ++i) {
+        out->push_back(EventView(&cols_, static_cast<uint32_t>(i)));
       }
       return;
     }
+    if (!from_postings) {
+      sel.resize(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        sel[i - lo] = static_cast<uint32_t>(i);
+      }
+    }
+    VectorScan(&sel, q, pred, catalog, subject_set, object_set, agent_set, out, stats);
+    return;
   }
 
-  ScanRange(lo, hi, q, catalog, subject_set, object_set, out, stats);
+  if (from_postings) {
+    ScanOffsetsRows(sel, q, catalog, subject_set, object_set, agent_set, out, stats);
+    return;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    ++stats->events_scanned;
+    const Event& e = events_[i];
+    if (EventMatches(e, q, catalog, subject_set, object_set, agent_set)) {
+      ++stats->events_matched;
+      out->push_back(EventView(&e));
+    }
+  }
 }
 
 }  // namespace aiql

@@ -1,22 +1,39 @@
 // A storage partition: one (day, agent-group) shard of the event table
 // (paper §3.2 "Time and Space Partitioning").
 //
-// Events inside a partition are sorted by start_time so time-range scans are
-// binary searches. Each partition maintains posting lists (entity -> event
-// offsets) for subjects and objects: the analogue of the per-attribute B-tree
-// indexes the paper builds, specialized to the access pattern "give me the
-// events of this entity".
+// Events are ingested into a row buffer and reorganized at Finalize():
+//   - kColumnar (default): a structure-of-arrays layout (EventColumns) plus a
+//     zone map; queries run a vectorized scan that evaluates one column at a
+//     time over a shrinking selection vector and emits EventViews without
+//     materializing Event copies.
+//   - kRowStore: the seed's row-oriented layout, kept reachable for baseline
+//     ablations; predicates evaluate event-at-a-time.
+// Both layouts sort by start_time (time-range scans are binary searches) and
+// build per-entity posting lists, the analogue of the paper's per-attribute
+// B-tree indexes. The zone map (min/max per numeric column, op mask, agent
+// set) is built for both layouts so Database::ExecuteQuery can skip whole
+// partitions before touching any column.
 #ifndef AIQL_SRC_STORAGE_PARTITION_H_
 #define AIQL_SRC_STORAGE_PARTITION_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/data_query.h"
 #include "src/storage/event.h"
+#include "src/storage/event_view.h"
+#include "src/storage/zone_map.h"
 
 namespace aiql {
+
+enum class StorageLayout : uint8_t {
+  kColumnar = 0,  // structure-of-arrays + vectorized scan (AIQL storage)
+  kRowStore = 1,  // row-oriented std::vector<Event> (baseline ablations)
+};
+
+const char* StorageLayoutName(StorageLayout layout);
 
 struct PartitionKey {
   int64_t day_index = 0;
@@ -27,7 +44,11 @@ struct PartitionKey {
 
 struct PartitionKeyHash {
   size_t operator()(const PartitionKey& k) const {
-    return std::hash<int64_t>{}(k.day_index) * 1000003u + k.agent_group;
+    // Boost-style hash combine; the previous multiplicative mix collided for
+    // any (day + 1, group - 1000003) neighbor pair.
+    size_t h = std::hash<int64_t>{}(k.day_index);
+    h ^= std::hash<uint32_t>{}(k.agent_group) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
   }
 };
 
@@ -36,41 +57,109 @@ class Partition {
   explicit Partition(PartitionKey key) : key_(key) {}
 
   const PartitionKey& key() const { return key_; }
-  size_t size() const { return events_.size(); }
+  size_t size() const { return finalized_columnar() ? cols_.size() : events_.size(); }
+  StorageLayout layout() const { return layout_; }
+
+  // Pre-finalize row buffer; in columnar mode it is released at Finalize().
   const std::vector<Event>& events() const { return events_; }
 
-  void Append(const Event& e) { events_.push_back(e); }
+  // Appending to a finalized columnar partition rehydrates the row buffer;
+  // re-finalization rebuilds columns and indexes.
+  void Append(const Event& e);
 
-  // Sorts by start_time and builds posting lists. Must be called before
+  // Sorts by start_time, builds the zone map and posting lists, and (in
+  // columnar mode) transposes rows into EventColumns. Must be called before
   // Execute; ingest after Finalize requires re-finalization.
-  void Finalize(bool build_indexes);
+  void Finalize(bool build_indexes, StorageLayout layout);
   bool finalized() const { return finalized_; }
 
-  // Appends matching events to `out`. `subject_set` / `object_set` are
-  // optional membership filters over catalog indices (nullptr = any).
-  void Execute(const DataQuery& q, const EntityCatalog& catalog,
+  // Zone-map candidate check: could ANY event in this partition satisfy the
+  // query? `range` is the query's effective time range, `pred` the compiled
+  // event predicate. Consulted by Database::ExecuteQuery before any scan.
+  bool CanMatch(const TimeRange& range, const DataQuery& q,
+                const CompiledEventPred& pred) const;
+
+  // Appends matching events to `out`. `subject_set` / `object_set` /
+  // `agent_set` are optional membership filters (nullptr = any). `pred` must
+  // be the compilation of `q.event_pred`.
+  void Execute(const DataQuery& q, const CompiledEventPred& pred, const EntityCatalog& catalog,
                const std::unordered_set<uint32_t>* subject_set,
-               const std::unordered_set<uint32_t>* object_set, std::vector<const Event*>* out,
+               const std::unordered_set<uint32_t>* object_set,
+               const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
                ScanStats* stats) const;
 
-  TimestampMs min_time() const { return min_time_; }
-  TimestampMs max_time() const { return max_time_; }
+  // Visits every event in storage order (start_time order once finalized).
+  // Columnar partitions materialize rows on the fly.
+  void ForEachEvent(const std::function<void(const Event&)>& fn) const;
+
+  EventView ViewAt(uint32_t row) const {
+    return finalized_columnar() ? EventView(&cols_, row) : EventView(&events_[row]);
+  }
+
+  const ZoneMap& zone_map() const { return zone_; }
+  TimestampMs min_time() const { return zone_.MinOf(NumericColumn::kStartTime); }
+  TimestampMs max_time() const { return zone_.MaxOf(NumericColumn::kStartTime); }
 
  private:
+  bool finalized_columnar() const { return finalized_ && layout_ == StorageLayout::kColumnar; }
+
   // Offsets of events within [range) via binary search on start_time.
   std::pair<size_t, size_t> TimeSlice(const TimeRange& range) const;
 
-  void ScanRange(size_t begin, size_t end, const DataQuery& q, const EntityCatalog& catalog,
-                 const std::unordered_set<uint32_t>* subject_set,
-                 const std::unordered_set<uint32_t>* object_set, std::vector<const Event*>* out,
-                 ScanStats* stats) const;
+  TimestampMs StartTimeAt(size_t row) const {
+    return finalized_columnar() ? cols_.start_time[row] : events_[row].start_time;
+  }
+
+  // Rebuilds the row buffer from columns so post-finalize ingest works.
+  void Rehydrate();
+
+  // Per-stage activity predicates, shared by NeedsFiltering and VectorScan
+  // so the fast path and the filter pipeline can never disagree about which
+  // stages may reject a row.
+  bool OpFilterActive(OpMask mask) const { return (zone_.op_mask & ~mask) != 0; }
+  bool TypeFilterActive(EntityType want) const {
+    return zone_.object_type_mask != (1u << static_cast<int>(want));
+  }
+  bool AgentFilterActive(const std::unordered_set<AgentId>* agent_set) const;
+  bool ColumnFilterActive(const ColumnFilter& f) const {
+    return !f.AlwaysTrueOnRange(zone_.MinOf(f.col), zone_.MaxOf(f.col));
+  }
+
+  // True when some scan stage could reject a row in this partition; false
+  // means every row in a time slice matches and can be emitted directly.
+  bool NeedsFiltering(const DataQuery& q, const CompiledEventPred& pred,
+                      const std::unordered_set<uint32_t>* subject_set,
+                      const std::unordered_set<uint32_t>* object_set,
+                      const std::unordered_set<AgentId>* agent_set) const;
+
+  // Row-oriented scan of explicit offsets (posting candidates).
+  void ScanOffsetsRows(const std::vector<uint32_t>& offsets, const DataQuery& q,
+                       const EntityCatalog& catalog,
+                       const std::unordered_set<uint32_t>* subject_set,
+                       const std::unordered_set<uint32_t>* object_set,
+                       const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
+                       ScanStats* stats) const;
+
+  // Columnar scan: narrows `sel` one column at a time, then emits views.
+  void VectorScan(std::vector<uint32_t>* sel, const DataQuery& q, const CompiledEventPred& pred,
+                  const EntityCatalog& catalog, const std::unordered_set<uint32_t>* subject_set,
+                  const std::unordered_set<uint32_t>* object_set,
+                  const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
+                  ScanStats* stats) const;
+
+  // Unions posting lists for the chosen side into sorted offsets clipped to
+  // [lo, hi). Returns false when no side qualifies for index access.
+  bool PostingCandidates(const DataQuery& q, const std::unordered_set<uint32_t>* subject_set,
+                         const std::unordered_set<uint32_t>* object_set, size_t lo, size_t hi,
+                         std::vector<uint32_t>* offsets, ScanStats* stats) const;
 
   PartitionKey key_;
-  std::vector<Event> events_;
+  std::vector<Event> events_;  // ingest buffer / row storage
+  EventColumns cols_;          // columnar storage (finalized kColumnar only)
+  ZoneMap zone_;
+  StorageLayout layout_ = StorageLayout::kColumnar;
   bool finalized_ = false;
   bool has_indexes_ = false;
-  TimestampMs min_time_ = INT64_MAX;
-  TimestampMs max_time_ = INT64_MIN;
 
   // Posting lists: catalog index -> sorted event offsets.
   std::unordered_map<uint32_t, std::vector<uint32_t>> subject_postings_;

@@ -1,0 +1,112 @@
+// Per-partition zone maps and compiled column filters.
+//
+// A zone map summarizes one partition: min/max per numeric event column, the
+// union of operation bits, the set of object entity types, and the distinct
+// agents present. Database::ExecuteQuery consults zone maps to skip whole
+// partitions before touching any column (the sketch-based candidate check of
+// Tenzir's partition design, specialized to AIQL's fixed event schema).
+//
+// CompileEventPred splits a data query's event predicate into
+//   - an operation-mask refinement (optype = "write" and friends),
+//   - vectorizable per-column comparisons against integer constants,
+//   - a residual PredExpr evaluated row-at-a-time for whatever remains.
+// The compiled filters drive both zone-map pruning (can ANY row in this
+// partition match?) and the vectorized scan (evaluate one column at a time
+// over a shrinking selection vector).
+#ifndef AIQL_SRC_STORAGE_ZONE_MAP_H_
+#define AIQL_SRC_STORAGE_ZONE_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/event.h"
+#include "src/storage/predicate.h"
+
+namespace aiql {
+
+// Numeric event columns addressable by zone maps and vectorized filters.
+enum class NumericColumn : uint8_t {
+  kId = 0,
+  kSeq = 1,
+  kAgentId = 2,
+  kStartTime = 3,
+  kEndTime = 4,
+  kAmount = 5,
+  kFailureCode = 6,
+};
+
+inline constexpr int kNumNumericColumns = 7;
+
+// Maps an event attribute name (any accepted alias) to its numeric column.
+std::optional<NumericColumn> NumericColumnFor(std::string_view attr);
+
+struct ZoneMap {
+  int64_t min[kNumNumericColumns];
+  int64_t max[kNumNumericColumns];
+  OpMask op_mask = 0;
+  uint8_t object_type_mask = 0;          // bit i = EntityType(i) present
+  std::vector<AgentId> agents;           // sorted distinct agents
+
+  ZoneMap() {
+    std::fill(std::begin(min), std::end(min), INT64_MAX);
+    std::fill(std::begin(max), std::end(max), INT64_MIN);
+  }
+
+  void Observe(const Event& e);
+  // Sorts/dedupes the agent set; call once after the last Observe.
+  void Seal();
+
+  bool ContainsAgent(AgentId a) const {
+    return std::binary_search(agents.begin(), agents.end(), a);
+  }
+  bool ContainsAnyAgent(const std::vector<AgentId>& candidates) const {
+    for (AgentId a : candidates) {
+      if (ContainsAgent(a)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int64_t MinOf(NumericColumn c) const { return min[static_cast<int>(c)]; }
+  int64_t MaxOf(NumericColumn c) const { return max[static_cast<int>(c)]; }
+};
+
+// One vectorizable comparison: column <op> value (or value set for IN).
+struct ColumnFilter {
+  NumericColumn col = NumericColumn::kId;
+  CmpOp op = CmpOp::kEq;
+  int64_t value = 0;
+  std::shared_ptr<std::unordered_set<int64_t>> values;  // kIn / kNotIn only
+
+  bool Matches(int64_t v) const;
+  // Could any value in [zone_min, zone_max] satisfy this filter?
+  bool CanMatchRange(int64_t zone_min, int64_t zone_max) const;
+  // Does every value in [zone_min, zone_max] satisfy this filter? (When true
+  // the scan can skip applying it entirely.)
+  bool AlwaysTrueOnRange(int64_t zone_min, int64_t zone_max) const;
+};
+
+// The vectorizable decomposition of a DataQuery's event predicate.
+struct CompiledEventPred {
+  OpMask op_mask = kAllOps;            // refinement from optype constraints
+  std::vector<ColumnFilter> filters;   // conjunctive column comparisons
+  PredExpr residual;                   // whatever could not be vectorized
+
+  bool TriviallyTrue() const {
+    return op_mask == kAllOps && filters.empty() && residual.is_true();
+  }
+};
+
+// Splits the top-level conjunction of `pred`. Semantics are preserved
+// exactly: op_mask ∧ filters ∧ residual  ⇔  pred.
+CompiledEventPred CompileEventPred(const PredExpr& pred);
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_STORAGE_ZONE_MAP_H_

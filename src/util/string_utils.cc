@@ -48,6 +48,14 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+void ToLowerInto(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (char c : s) {
+    out->push_back(FoldCase(c));
+  }
+}
+
 std::string Trim(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();

@@ -20,6 +20,9 @@ bool LikeMatch(std::string_view text, std::string_view pattern);
 bool HasLikeWildcards(std::string_view pattern);
 
 std::string ToLower(std::string_view s);
+// Allocation-free variant for hot loops: folds `s` into `out`, reusing its
+// capacity.
+void ToLowerInto(std::string_view s, std::string* out);
 std::string Trim(std::string_view s);
 std::vector<std::string> Split(std::string_view s, char sep);
 std::string Join(const std::vector<std::string>& parts, const std::string& sep);

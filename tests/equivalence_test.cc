@@ -195,6 +195,38 @@ TEST(CorpusTest, ParallelismDoesNotChangeResults) {
   }
 }
 
+TEST(CorpusTest, ColumnarMatchesRowStoreAcrossSchedulers) {
+  // The columnar vectorized scan must return byte-identical result sets to
+  // the row-store baseline under every scheduling strategy.
+  ScenarioConfig config;
+  config.trace.num_hosts = 6;
+  config.trace.events_per_host_per_day = 300;
+  config.trace.num_days = 2;
+  Database columnar{DatabaseOptions{.layout = StorageLayout::kColumnar}};
+  Workload w1(config, &columnar);
+  w1.Build();
+  columnar.Finalize();
+  Database rowstore{DatabaseOptions{.layout = StorageLayout::kRowStore}};
+  Workload w2(config, &rowstore);
+  w2.Build();
+  rowstore.Finalize();
+  for (const auto& spec : w1.CaseStudyQueries()) {
+    for (SchedulerKind scheduler : {SchedulerKind::kRelationship, SchedulerKind::kFetchFilter,
+                                    SchedulerKind::kBigJoin}) {
+      AiqlEngine a(&columnar, EngineOptions{.scheduler = scheduler, .time_budget_ms = 120000});
+      AiqlEngine b(&rowstore, EngineOptions{.scheduler = scheduler, .time_budget_ms = 120000});
+      auto ra = a.Execute(spec.text);
+      auto rb = b.Execute(spec.text);
+      ASSERT_TRUE(ra.ok()) << spec.id << ": " << ra.error();
+      ASSERT_TRUE(rb.ok()) << spec.id << ": " << rb.error();
+      EXPECT_TRUE(ra.value().SameRowsAs(rb.value()))
+          << spec.id << " under " << SchedulerKindName(scheduler) << "\ncolumnar:\n"
+          << ra.value().ToString() << "\nrowstore:\n"
+          << rb.value().ToString();
+    }
+  }
+}
+
 TEST(CorpusTest, StorageSchemesAgree) {
   // Partitioned + indexed vs monolithic + unindexed storage: same answers.
   ScenarioConfig config;

@@ -138,7 +138,7 @@ TEST_F(GraphMppTest, MppQueryMatchesSingleNode) {
   auto sharded = cluster.ExecuteQuery(q, nullptr);
   ASSERT_EQ(single.size(), sharded.size());
   for (size_t i = 0; i < single.size(); ++i) {
-    EXPECT_EQ(single[i]->id, sharded[i]->id);  // identical ids, same order
+    EXPECT_EQ(single[i].id(), sharded[i].id());  // identical ids, same order
   }
 }
 

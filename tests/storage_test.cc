@@ -79,8 +79,8 @@ TEST_F(StorageTest, TimeRangeQuery) {
   q.time = TimeRange{t0_, t0_ + 90 * kSecondMs};
   auto events = db_.ExecuteQuery(q);
   ASSERT_EQ(events.size(), 2u);
-  EXPECT_EQ(events[0]->op, Operation::kRead);
-  EXPECT_EQ(events[1]->op, Operation::kWrite);
+  EXPECT_EQ(events[0].op(), Operation::kRead);
+  EXPECT_EQ(events[1].op(), Operation::kWrite);
 }
 
 TEST_F(StorageTest, OpMaskFilters) {
@@ -89,7 +89,7 @@ TEST_F(StorageTest, OpMaskFilters) {
   q.op_mask = OpBit(Operation::kWrite);
   auto events = db_.ExecuteQuery(q);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->amount, 512);
+  EXPECT_EQ(events[0].amount(), 512);
 }
 
 TEST_F(StorageTest, AgentConstraintPrunes) {
@@ -99,7 +99,7 @@ TEST_F(StorageTest, AgentConstraintPrunes) {
   ScanStats stats;
   auto events = db_.ExecuteQuery(q, &stats);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->agent_id, 2u);
+  EXPECT_EQ(events[0].agent_id(), 2u);
   q.agent_ids = std::vector<AgentId>{1};
   EXPECT_TRUE(db_.ExecuteQuery(q).empty());
 }
@@ -115,7 +115,7 @@ TEST_F(StorageTest, SubjectPredicateViaIndex) {
   ScanStats stats;
   auto events = db_.ExecuteQuery(q, &stats);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->subject_idx, bash_);
+  EXPECT_EQ(events[0].subject_idx(), bash_);
   EXPECT_GT(stats.index_lookups, 0u);
 }
 
@@ -129,7 +129,7 @@ TEST_F(StorageTest, LikePredicateFallsBackToScan) {
   q.object_pred = PredExpr::Leaf(pred);
   auto events = db_.ExecuteQuery(q);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->object_idx, log_);
+  EXPECT_EQ(events[0].object_idx(), log_);
 }
 
 TEST_F(StorageTest, PushdownCandidatesNarrow) {
@@ -138,7 +138,7 @@ TEST_F(StorageTest, PushdownCandidatesNarrow) {
   q.subject_candidates = std::vector<uint32_t>{vim_};
   auto events = db_.ExecuteQuery(q);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->subject_idx, vim_);
+  EXPECT_EQ(events[0].subject_idx(), vim_);
   // Candidate set intersected with a contradicting predicate is empty.
   AttrPredicate pred;
   pred.attr = "exe_name";
@@ -154,7 +154,7 @@ TEST_F(StorageTest, PushedTimeNarrows) {
   q.pushed_time = TimeRange{t0_ + 30 * kSecondMs, t0_ + 2 * kMinuteMs};
   auto events = db_.ExecuteQuery(q);
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0]->op, Operation::kWrite);
+  EXPECT_EQ(events[0].op(), Operation::kWrite);
 }
 
 TEST_F(StorageTest, ResultsSortedByTimeThenId) {
@@ -162,9 +162,9 @@ TEST_F(StorageTest, ResultsSortedByTimeThenId) {
   q.object_type = EntityType::kFile;
   auto events = db_.ExecuteQuery(q);
   for (size_t i = 1; i < events.size(); ++i) {
-    bool ordered = events[i - 1]->start_time < events[i]->start_time ||
-                   (events[i - 1]->start_time == events[i]->start_time &&
-                    events[i - 1]->id < events[i]->id);
+    bool ordered = events[i - 1].start_time() < events[i].start_time() ||
+                   (events[i - 1].start_time() == events[i].start_time() &&
+                    events[i - 1].id() < events[i].id());
     EXPECT_TRUE(ordered);
   }
 }
@@ -175,8 +175,110 @@ TEST_F(StorageTest, PartitionPruningStats) {
   q.time = TimeRange{t0_ + kDayMs - kHourMs, t0_ + kDayMs + kHourMs};
   ScanStats stats;
   db_.ExecuteQuery(q, &stats);
-  EXPECT_EQ(stats.partitions_pruned, 1u);  // day-1 partition skipped
+  EXPECT_EQ(stats.partitions_pruned, 1u);  // day-0 partition skipped
   EXPECT_EQ(stats.partitions_scanned, 1u);
+  EXPECT_EQ(stats.events_skipped, 3u);  // the three day-0 events, never touched
+}
+
+TEST_F(StorageTest, ZoneMapPrunesByOpMask) {
+  // No partition stores a delete: both are pruned before any scan.
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  q.op_mask = OpBit(Operation::kDelete);
+  ScanStats stats;
+  EXPECT_TRUE(db_.ExecuteQuery(q, &stats).empty());
+  EXPECT_EQ(stats.partitions_pruned, 2u);
+  EXPECT_EQ(stats.partitions_scanned, 0u);
+  EXPECT_EQ(stats.events_skipped, db_.num_events());
+  EXPECT_EQ(stats.events_scanned, 0u);
+}
+
+TEST_F(StorageTest, ZoneMapPrunesByObjectType) {
+  // Day-0 holds file/process events only; a network query skips it.
+  DataQuery q;
+  q.object_type = EntityType::kNetwork;
+  ScanStats stats;
+  auto events = db_.ExecuteQuery(q, &stats);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(stats.partitions_pruned, 1u);
+  EXPECT_EQ(stats.partitions_scanned, 1u);
+}
+
+TEST_F(StorageTest, ZoneMapPrunesByNumericRange) {
+  // amount > 10000 exceeds every stored amount: zone maps prune everything.
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  AttrPredicate pred;
+  pred.attr = "amount";
+  pred.op = CmpOp::kGt;
+  pred.values = {Value(int64_t{10000})};
+  q.event_pred = PredExpr::Leaf(pred);
+  ScanStats stats;
+  EXPECT_TRUE(db_.ExecuteQuery(q, &stats).empty());
+  EXPECT_EQ(stats.partitions_scanned, 0u);
+  EXPECT_EQ(stats.events_skipped, db_.num_events());
+}
+
+TEST_F(StorageTest, ZoneMapPrunesByAgentWithinGroup) {
+  // Agents 1 and 2 share a partition group, so scheme keys cannot separate
+  // them — the per-partition agent set can. Day-0 holds only agent 1.
+  DataQuery q;
+  q.object_type = EntityType::kNetwork;
+  q.agent_ids = std::vector<AgentId>{2};
+  ScanStats stats;
+  auto events = db_.ExecuteQuery(q, &stats);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(stats.partitions_pruned, 1u);
+  EXPECT_EQ(stats.partitions_scanned, 1u);
+}
+
+TEST_F(StorageTest, OptypePredicateCompilesToOpMask) {
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  AttrPredicate pred;
+  pred.attr = "optype";
+  pred.op = CmpOp::kEq;
+  pred.values = {Value("write")};
+  q.event_pred = PredExpr::Leaf(pred);
+  ScanStats stats;
+  auto events = db_.ExecuteQuery(q, &stats);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].amount(), 512);
+  // An impossible optype value matches nothing without touching storage.
+  pred.values = {Value("no-such-op")};
+  q.event_pred = PredExpr::Leaf(pred);
+  ScanStats none;
+  EXPECT_TRUE(db_.ExecuteQuery(q, &none).empty());
+  EXPECT_EQ(none.partitions_scanned, 0u);
+}
+
+TEST_F(StorageTest, RowStoreLayoutAgrees) {
+  Database rows{DatabaseOptions{.layout = StorageLayout::kRowStore}};
+  uint32_t p = rows.catalog().InternProcess(1, 100, "/usr/bin/bash", "root");
+  uint32_t f = rows.catalog().InternFile(1, "/etc/passwd");
+  rows.RecordEvent(1, p, Operation::kRead, EntityType::kFile, f, t0_);
+  rows.RecordEvent(1, p, Operation::kWrite, EntityType::kFile, f, t0_ + kMinuteMs, 512);
+  rows.Finalize();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  q.op_mask = OpBit(Operation::kWrite);
+  auto events = rows.ExecuteQuery(q);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].amount(), 512);
+}
+
+TEST_F(StorageTest, ColumnarIngestAfterFinalizeRehydrates) {
+  // Appending to a finalized columnar database must rebuild the row buffer,
+  // and re-finalization must restore query results over the full data.
+  db_.RecordEvent(1, bash_, Operation::kDelete, EntityType::kFile, log_, t0_ + 5 * kMinuteMs);
+  db_.Finalize();
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  q.op_mask = OpBit(Operation::kDelete);
+  auto events = db_.ExecuteQuery(q);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object_idx(), log_);
+  EXPECT_EQ(db_.num_events(), 5u);
 }
 
 TEST_F(StorageTest, NoIndexModeStillCorrect) {
