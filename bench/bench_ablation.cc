@@ -3,7 +3,8 @@
 //   - pruning-score relationship ordering on/off,
 //   - time/space storage partitioning on/off,
 //   - secondary indexes on/off,
-//   - day-parallel data-query execution 1 vs 2 workers.
+//   - parallel data-query execution: auto-sized morsel-driven partition
+//     scans vs a single worker vs the legacy coarse day-split fan-out.
 // Measured over the 26 case-study queries (total investigation time).
 #include "bench/bench_common.h"
 
@@ -55,22 +56,26 @@ int main() {
     const Database* db;
     EngineOptions options;
   };
+  // Parallelism is left at its default (0 = auto-sized from
+  // hardware_concurrency) everywhere except the explicit worker-count rows,
+  // so small machines are no longer oversubscribed by a hard-coded 2.
   int64_t budget = BaselineBudgetMs();
   std::vector<Config> configs = {
-      {"full (pushdown+ordering+partitions+indexes, 2 workers)", world.optimized.get(),
-       {.parallelism = 2, .time_budget_ms = budget}},
+      {"full (pushdown+ordering+partitions+indexes, auto workers)", world.optimized.get(),
+       {.time_budget_ms = budget}},
       {"single worker", world.optimized.get(), {.parallelism = 1, .time_budget_ms = budget}},
+      {"day-split fan-out (no storage-level morsel scan)", world.optimized.get(),
+       {.storage_parallel = false, .time_budget_ms = budget}},
       {"no pushdown", world.optimized.get(),
-       {.parallelism = 2, .pushdown = false, .time_budget_ms = budget}},
+       {.pushdown = false, .time_budget_ms = budget}},
       {"no relationship ordering", world.optimized.get(),
-       {.parallelism = 2, .ordering = false, .time_budget_ms = budget}},
+       {.ordering = false, .time_budget_ms = budget}},
       {"no pushdown + no ordering", world.optimized.get(),
-       {.parallelism = 2, .pushdown = false, .ordering = false, .time_budget_ms = budget}},
-      {"no storage partitioning", &no_partitions,
-       {.parallelism = 2, .time_budget_ms = budget}},
-      {"no secondary indexes", &no_indexes, {.parallelism = 2, .time_budget_ms = budget}},
+       {.pushdown = false, .ordering = false, .time_budget_ms = budget}},
+      {"no storage partitioning", &no_partitions, {.time_budget_ms = budget}},
+      {"no secondary indexes", &no_indexes, {.time_budget_ms = budget}},
       {"row-store scan path (no columnar vectorization)", &row_store,
-       {.parallelism = 2, .time_budget_ms = budget}},
+       {.time_budget_ms = budget}},
   };
 
   std::printf("%-55s %12s %9s\n", "configuration", "total (ms)", "vs full");

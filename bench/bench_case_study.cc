@@ -6,7 +6,7 @@
 // same indexes but WITHOUT the domain-specific storage optimizations
 // (monolithic store, no partition pruning) and run their native strategies
 // (monolithic big-join / graph pattern expansion); AIQL runs partitioned
-// storage + relationship-based scheduling + day-parallel data queries.
+// storage + relationship-based scheduling + morsel-parallel partition scans.
 #include <cmath>
 #include <map>
 
@@ -31,7 +31,6 @@ int main() {
 
   AiqlEngine aiql_engine(world.optimized.get(),
                          EngineOptions{.scheduler = SchedulerKind::kRelationship,
-                                       .parallelism = 2,
                                        .time_budget_ms = BaselineBudgetMs()});
   AiqlEngine pg_engine(world.baseline.get(),
                        EngineOptions{.scheduler = SchedulerKind::kBigJoin,

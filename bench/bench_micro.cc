@@ -4,10 +4,13 @@
 // These quantify the primitive costs behind the macro benches.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "src/core/tuple_set.h"
 #include "src/storage/database.h"
 #include "src/util/rng.h"
 #include "src/util/string_utils.h"
+#include "src/util/thread_pool.h"
 
 namespace aiql {
 namespace {
@@ -41,15 +44,21 @@ BENCHMARK(BM_LikeMatch);
 Database* BuildSharedDb(StorageLayout layout) {
   auto* d = new Database(DatabaseOptions{.layout = layout});
   Rng rng(11);
+  // Entities spread over 8 hosts so the 3-day stream lands in ~9
+  // (day, agent-group) partitions — enough morsels for the parallel-scan
+  // benchmarks to fan out over.
   std::vector<uint32_t> procs, files;
   for (int i = 0; i < 64; ++i) {
-    procs.push_back(d->catalog().InternProcess(1, 1000 + i, "/bin/p" + std::to_string(i)));
+    procs.push_back(
+        d->catalog().InternProcess(1 + i % 8, 1000 + i, "/bin/p" + std::to_string(i)));
   }
   for (int i = 0; i < 512; ++i) {
-    files.push_back(d->catalog().InternFile(1, "/data/f" + std::to_string(i)));
+    files.push_back(d->catalog().InternFile(1 + i % 8, "/data/f" + std::to_string(i)));
   }
   for (int i = 0; i < 200000; ++i) {
-    d->RecordEvent(1, procs[rng.Below(procs.size())], Operation::kRead, EntityType::kFile,
+    uint32_t subj = procs[rng.Below(procs.size())];
+    AgentId agent = d->catalog().AgentOf(EntityType::kProcess, subj);
+    d->RecordEvent(agent, subj, Operation::kRead, EntityType::kFile,
                    files[rng.Below(files.size())], rng.Below(3 * kDayMs), rng.Below(10000));
   }
   d->Finalize();
@@ -96,11 +105,25 @@ void BM_TimeSliceScan(benchmark::State& state) {
 }
 BENCHMARK(BM_TimeSliceScan)->Arg(10)->Arg(60)->Arg(600);
 
-// Full-scan event throughput: columnar vectorized scan (arg 0) vs the
-// row-store baseline (arg 1) over the identical 200k-event stream, with a
-// half-selective amount filter as the only event predicate.
+// Full-scan event throughput: storage layout (arg 0: columnar vectorized
+// scan, 1: row-store baseline) x scan parallelism (arg 1: 1 = serial
+// ExecuteQuery, >1 = morsel-driven ExecuteQueryParallel) over the identical
+// 200k-event stream, with a half-selective amount filter as the only event
+// predicate. Both layouts and every parallelism level must report the same
+// `matched` count.
 void BM_FullScan(benchmark::State& state) {
   Database* db = state.range(0) == 0 ? SharedDb() : SharedRowStoreDb();
+  size_t parallelism = static_cast<size_t>(state.range(1));
+  // One pool per parallelism level, shared across iterations and layouts.
+  static std::unordered_map<size_t, ThreadPool*> pools;
+  ThreadPool* pool = nullptr;
+  if (parallelism > 1) {
+    auto [it, inserted] = pools.try_emplace(parallelism, nullptr);
+    if (inserted) {
+      it->second = new ThreadPool(parallelism - 1);
+    }
+    pool = it->second;
+  }
   DataQuery q;
   q.object_type = EntityType::kFile;
   AttrPredicate pred;
@@ -111,15 +134,20 @@ void BM_FullScan(benchmark::State& state) {
   ScanStats stats;
   for (auto _ : state) {
     ScanStats s;
-    benchmark::DoNotOptimize(db->ExecuteQuery(q, &s));
+    if (pool != nullptr) {
+      benchmark::DoNotOptimize(db->ExecuteQueryParallel(q, &s, pool));
+    } else {
+      benchmark::DoNotOptimize(db->ExecuteQuery(q, &s));
+    }
     stats = s;
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(stats.events_scanned + stats.events_skipped));
   state.counters["matched"] = static_cast<double>(stats.events_matched);
-  state.SetLabel(StorageLayoutName(db->options().layout));
+  state.SetLabel(std::string(StorageLayoutName(db->options().layout)) + "/p" +
+                 std::to_string(parallelism));
 }
-BENCHMARK(BM_FullScan)->Arg(0)->Arg(1);
+BENCHMARK(BM_FullScan)->Args({0, 1})->Args({0, 2})->Args({0, 4})->Args({1, 1})->Args({1, 4});
 
 void BM_PostingListFetch(benchmark::State& state) {
   Database* db = SharedDb();

@@ -34,7 +34,7 @@ int main() {
   };
 
   AiqlEngine aiql_engine(world.optimized.get(),
-                         EngineOptions{.parallelism = 2, .time_budget_ms = BaselineBudgetMs()});
+                         EngineOptions{.time_budget_ms = BaselineBudgetMs()});
   AiqlEngine pg_engine(world.baseline.get(),
                        EngineOptions{.scheduler = SchedulerKind::kBigJoin,
                                      .time_budget_ms = BaselineBudgetMs(),

@@ -25,7 +25,6 @@ int main() {
                                                      .time_budget_ms = BaselineBudgetMs()});
   AiqlEngine aiql_engine(world.optimized.get(),
                          EngineOptions{.scheduler = SchedulerKind::kRelationship,
-                                       .parallelism = 2,
                                        .time_budget_ms = BaselineBudgetMs()});
 
   std::map<std::string, std::vector<std::array<double, 3>>> families;

@@ -1,11 +1,22 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace aiql {
 
 AiqlEngine::AiqlEngine(const EventStore* db, EngineOptions options)
     : db_(db), options_(options) {
+  if (options_.parallelism == 0) {
+    // Auto-size to the machine: hardware_concurrency() may report 0 when
+    // unknown, and a 1-core box must stay sequential rather than pay thread
+    // hand-off costs for nothing (the old hard-coded 2 oversubscribed it).
+    options_.parallelism = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
   if (options_.parallelism > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
+    // The calling thread participates in RunBulk/ParallelFor, so a pool of
+    // parallelism-1 workers yields exactly `parallelism` scan threads.
+    pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
   }
 }
 
@@ -26,6 +37,7 @@ Result<ResultTable> AiqlEngine::ExecuteContext(const QueryContext& ctx) {
   exec.pushdown = options_.pushdown;
   exec.ordering = options_.ordering;
   exec.parallelism = options_.parallelism;
+  exec.storage_parallel = options_.storage_parallel;
   exec.time_budget_ms = options_.time_budget_ms;
   exec.max_join_work = options_.max_join_work;
 

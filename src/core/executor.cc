@@ -23,9 +23,17 @@ std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& que
                                       const ExecOptions& options, ThreadPool* pool,
                                       ExecStats* stats) {
   ++stats->data_queries;
+  bool parallel = pool != nullptr && options.parallelism > 1;
+  // Primary path: hand the pool to the store, which enumerates its pruning
+  // survivors into a morsel queue (Database partitions, MPP segment
+  // partitions) — fan-out lives where the data lives.
+  if (parallel && options.storage_parallel && db.SupportsParallelScan()) {
+    return db.ExecuteQueryParallel(query, &stats->scan, pool);
+  }
+  // Fallback for stores without internal parallelism: split multi-day time
+  // windows into per-day sub-queries and run those on the pool.
   TimeRange range = query.EffectiveTime().Intersect(db.data_time_range());
-  bool can_split = pool != nullptr && options.parallelism > 1 &&
-                   db.SupportsDaySplit() && !range.empty();
+  bool can_split = parallel && db.SupportsDaySplit() && !range.empty();
   if (can_split) {
     int64_t first_day = DayIndex(range.begin);
     int64_t last_day = DayIndex(range.end - 1);

@@ -40,9 +40,15 @@ struct ExecOptions {
   bool pushdown = true;  // constrained execution of dependent data queries
   bool ordering = true;  // pruning-score relationship ordering
 
-  // Day-parallel data-query fetch (paper §5.2 "Time Window Partition").
-  // Requires a thread pool; 1 disables splitting.
+  // Parallel data-query fetch. Stores that scan in parallel internally
+  // (Database, MppCluster) receive the pool directly and fan out per
+  // partition (morsel-driven); for other stores the executor falls back to
+  // splitting multi-day queries per day (paper §5.2 "Time Window
+  // Partition"). Requires a thread pool; 1 disables both.
   size_t parallelism = 1;
+  // Ablation knob: force the coarse day-split fallback even for stores with
+  // internal parallelism.
+  bool storage_parallel = true;
 
   // Execution budget; 0 = unlimited. Work units are intermediate join rows
   // (hash/temporal joins) or comparisons (nested loops).
@@ -69,8 +75,10 @@ Result<TupleSet> ExecuteMultievent(const EventStore& db, const QueryContext& ctx
                                    const ExecOptions& options, ThreadPool* pool,
                                    ExecStats* stats);
 
-// Fetches the events matching one data query, splitting a multi-day time
-// window into per-day sub-queries executed on the pool (when allowed).
+// Fetches the events matching one data query. With a pool and parallelism
+// > 1, prefers the store's internal morsel-driven partition scan
+// (ExecuteQueryParallel); stores without one get the day-split fallback:
+// multi-day time windows split into per-day sub-queries run on the pool.
 std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
                                       const ExecOptions& options, ThreadPool* pool,
                                       ExecStats* stats);

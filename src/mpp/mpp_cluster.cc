@@ -25,7 +25,9 @@ MppCluster::MppCluster(size_t num_segments, DistributionPolicy policy,
   for (size_t i = 0; i < num_segments; ++i) {
     segments_.push_back(std::make_unique<Database>(segment_options, catalog_));
   }
-  pool_ = std::make_unique<ThreadPool>(num_segments);
+  // The gathering thread participates in ParallelFor, so num_segments - 1
+  // workers give one scan thread per segment.
+  pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1, num_segments - 1));
 }
 
 size_t MppCluster::SegmentFor(const Event& e, size_t arrival_index) const {
@@ -74,6 +76,55 @@ size_t MppCluster::num_events() const {
     total += s->num_events();
   }
   return total;
+}
+
+std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
+                                                        ThreadPool* pool) const {
+  if (pool == nullptr) {
+    return ExecuteQuery(query, stats);
+  }
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+
+  // Plan every segment serially (cheap: zone-map arithmetic; the shared
+  // catalog makes entity resolution identical per segment), then flatten all
+  // surviving partitions into one morsel queue.
+  struct Morsel {
+    const ScanPlan* plan;
+    const Database* segment;
+    size_t index;  // into plan->survivors
+  };
+  std::vector<std::optional<ScanPlan>> plans(segments_.size());
+  std::vector<Morsel> morsels;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    plans[s] = segments_[s]->PlanQuery(query, st);
+    if (!plans[s].has_value()) {
+      continue;
+    }
+    for (size_t i = 0; i < plans[s]->survivors.size(); ++i) {
+      morsels.push_back(Morsel{&*plans[s], segments_[s].get(), i});
+    }
+  }
+
+  // Mirror Database::ExecuteQueryParallel: fewer than two morsels run inline
+  // on the calling thread and report no parallel fan-out.
+  if (morsels.size() < 2) {
+    std::vector<EventView> out;
+    for (const Morsel& m : morsels) {
+      m.segment->ScanPlannedPartition(*m.plan, m.index, &out, st);
+    }
+    SortByTimeThenId(&out);
+    return out;
+  }
+
+  std::vector<std::vector<EventView>> slots(morsels.size());
+  std::vector<ScanStats> worker_stats(pool->max_participants());
+  pool->RunBulk(morsels.size(), [&](size_t worker, size_t m) {
+    morsels[m].segment->ScanPlannedPartition(*morsels[m].plan, morsels[m].index, &slots[m],
+                                             &worker_stats[worker]);
+  });
+  st->parallel_morsels += morsels.size();
+  return MergeMorselResults(&slots, worker_stats, st);
 }
 
 std::vector<EventView> MppCluster::ExecuteQuery(const DataQuery& query,

@@ -48,6 +48,14 @@ class MppCluster : public EventStore {
   const EntityCatalog& catalog() const override { return *catalog_; }
   std::vector<EventView> ExecuteQuery(const DataQuery& query,
                                       ScanStats* stats) const override;
+  // Partition-level fan-out on the caller's pool: every segment plans
+  // locally, then all surviving (segment, partition) pairs pool into one
+  // morsel queue — finer-grained than the per-segment scatter of
+  // ExecuteQuery, so a query whose matches concentrate in one segment still
+  // parallelizes.
+  std::vector<EventView> ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
+                                              ThreadPool* pool) const override;
+  bool SupportsParallelScan() const override { return true; }
   TimeRange data_time_range() const override { return range_; }
   bool SupportsDaySplit() const override { return false; }  // own parallelism
 

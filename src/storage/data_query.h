@@ -57,6 +57,10 @@ struct DataQuery {
 };
 
 // Execution statistics, surfaced for tests, ablations, and EXPERIMENTS.md.
+// Every field except parallel_morsels is invariant under the execution
+// strategy: serial, morsel-parallel, and day-split scans of the same query
+// aggregate to identical counts (asserted by tests/parallel_scan_test.cc).
+// ARCHITECTURE.md ("ScanStats reference") documents each field in detail.
 struct ScanStats {
   uint64_t events_scanned = 0;    // events touched by any access path
   uint64_t events_matched = 0;
@@ -64,6 +68,7 @@ struct ScanStats {
   uint64_t partitions_scanned = 0;
   uint64_t events_skipped = 0;     // events inside pruned partitions, never touched
   uint64_t index_lookups = 0;
+  uint64_t parallel_morsels = 0;   // partitions scanned via a morsel work queue
 
   ScanStats& operator+=(const ScanStats& o) {
     events_scanned += o.events_scanned;
@@ -72,6 +77,7 @@ struct ScanStats {
     partitions_scanned += o.partitions_scanned;
     events_skipped += o.events_skipped;
     index_lookups += o.index_lookups;
+    parallel_morsels += o.parallel_morsels;
     return *this;
   }
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/util/string_utils.h"
+#include "src/util/thread_pool.h"
 
 namespace aiql {
 
@@ -176,20 +177,24 @@ std::vector<uint32_t> Database::FindEntities(EntityType t, const PredExpr& pred,
   return out;
 }
 
-std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
+std::optional<ScanPlan> Database::PlanQuery(const DataQuery& q, ScanStats* stats) const {
   assert(finalized_ && "Database::Execute before Finalize()");
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
 
+  ScanPlan plan;
+  plan.query = &q;
+
   // Compile the event predicate once per query: an op-mask refinement plus
   // vectorizable column filters drive both zone-map pruning and the scan.
-  CompiledEventPred compiled = CompileEventPred(q.event_pred);
+  plan.compiled = CompileEventPred(q.event_pred);
+  const CompiledEventPred& compiled = plan.compiled;
   if ((q.op_mask & compiled.op_mask) == 0) {
-    return {};
+    return std::nullopt;
   }
 
   // Resolve candidate entity sets from predicates and pushdown.
-  std::optional<std::unordered_set<uint32_t>> subject_set;
+  std::optional<std::unordered_set<uint32_t>>& subject_set = plan.subject_set;
   if (!q.subject_pred.is_true()) {
     std::vector<uint32_t> found =
         FindEntities(EntityType::kProcess, q.subject_pred, q.agent_ids, st);
@@ -209,7 +214,7 @@ std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* sta
     }
   }
 
-  std::optional<std::unordered_set<uint32_t>> object_set;
+  std::optional<std::unordered_set<uint32_t>>& object_set = plan.object_set;
   if (!q.object_pred.is_true()) {
     // Files and network connections are recorded as entities of the host the
     // event occurred on, so the event's agent constraint narrows the
@@ -238,7 +243,7 @@ std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* sta
   // Short-circuit: a constrained side with no candidates matches nothing.
   if ((subject_set.has_value() && subject_set->empty()) ||
       (object_set.has_value() && object_set->empty())) {
-    return {};
+    return std::nullopt;
   }
 
   std::unordered_set<uint32_t> agent_groups;
@@ -246,14 +251,10 @@ std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* sta
     for (AgentId a : *q.agent_ids) {
       agent_groups.insert(a / options_.agent_group_size);
     }
-  }
-  std::unordered_set<AgentId> agent_set;
-  if (q.agent_ids.has_value()) {
-    agent_set.insert(q.agent_ids->begin(), q.agent_ids->end());
+    plan.agent_set.emplace(q.agent_ids->begin(), q.agent_ids->end());
   }
 
   TimeRange range = q.EffectiveTime();
-  std::vector<EventView> out;
   for (const auto& [key, p] : partitions_) {
     if (options_.scheme == PartitionScheme::kTimeSpace) {
       // Partition pruning along both key dimensions.
@@ -272,15 +273,75 @@ std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* sta
       st->events_skipped += p->size();
       continue;
     }
-    ++st->partitions_scanned;
-    p->Execute(q, compiled, *catalog_,
-               subject_set.has_value() ? &*subject_set : nullptr,
-               object_set.has_value() ? &*object_set : nullptr,
-               q.agent_ids.has_value() ? &agent_set : nullptr, &out, st);
+    plan.survivors.push_back(p.get());
   }
+  return plan;
+}
 
+void Database::ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
+                                    ScanStats* stats) const {
+  ++stats->partitions_scanned;
+  plan.survivors[i]->Execute(
+      *plan.query, plan.compiled, *catalog_,
+      plan.subject_set.has_value() ? &*plan.subject_set : nullptr,
+      plan.object_set.has_value() ? &*plan.object_set : nullptr,
+      plan.agent_set.has_value() ? &*plan.agent_set : nullptr, out, stats);
+}
+
+std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* slots,
+                                          const std::vector<ScanStats>& worker_stats,
+                                          ScanStats* stats) {
+  size_t total = 0;
+  for (const auto& s : *slots) {
+    total += s.size();
+  }
+  std::vector<EventView> out;
+  out.reserve(total);
+  for (const auto& s : *slots) {
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  slots->clear();
+  for (const ScanStats& ws : worker_stats) {
+    *stats += ws;
+  }
   SortByTimeThenId(&out);
   return out;
+}
+
+std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
+  return ExecuteQueryParallel(q, stats, nullptr);
+}
+
+std::vector<EventView> Database::ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
+                                                      ThreadPool* pool) const {
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+  std::optional<ScanPlan> plan = PlanQuery(q, st);
+  if (!plan.has_value()) {
+    return {};
+  }
+  const size_t n = plan->survivors.size();
+  if (pool == nullptr || n < 2) {
+    std::vector<EventView> out;
+    for (size_t i = 0; i < n; ++i) {
+      ScanPlannedPartition(*plan, i, &out, st);
+    }
+    SortByTimeThenId(&out);
+    return out;
+  }
+
+  // Morsel loop: each surviving partition is one work-queue entry. Workers
+  // pull the next unscanned partition and write into that partition's result
+  // slot and their own ScanStats, so no scan state is shared; the merge walks
+  // the slots in partition order regardless of which worker filled them,
+  // keeping the output deterministic.
+  std::vector<std::vector<EventView>> slots(n);
+  std::vector<ScanStats> worker_stats(pool->max_participants());
+  pool->RunBulk(n, [&](size_t worker, size_t i) {
+    ScanPlannedPartition(*plan, i, &slots[i], &worker_stats[worker]);
+  });
+  st->parallel_morsels += n;
+  return MergeMorselResults(&slots, worker_stats, st);
 }
 
 void Database::ForEachEvent(const std::function<void(const Event&)>& fn) const {

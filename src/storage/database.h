@@ -10,9 +10,13 @@
 // Independently, secondary indexes (entity attribute hash indexes + per-
 // partition posting lists) can be enabled or disabled for ablations.
 //
-// A database is ingested once, finalized, and then queried read-only;
-// Execute() is const and thread-safe so the engine can run per-day
-// sub-queries in parallel (paper §5.2 "Time Window Partition").
+// A database is ingested once, finalized, and then queried read-only; all
+// query entry points are const and thread-safe. Queries run in two phases:
+// a serial planning phase (predicate compilation, candidate-entity
+// resolution, partition pruning via scheme keys and zone maps) and a scan
+// phase over the surviving partitions — executed either on the calling
+// thread (ExecuteQuery) or morsel-driven across a ThreadPool's workers
+// (ExecuteQueryParallel), with identical results and aggregate ScanStats.
 #ifndef AIQL_SRC_STORAGE_DATABASE_H_
 #define AIQL_SRC_STORAGE_DATABASE_H_
 
@@ -38,6 +42,33 @@ enum class PartitionScheme : uint8_t {
   kNone = 0,       // single monolithic partition (baseline storage)
   kTimeSpace = 1,  // (day, agent-group) partitions (AIQL storage)
 };
+
+// Phase 1 of a data-query execution: everything that is computed once per
+// query and then shared read-only by every partition scan. Produced by
+// Database::PlanQuery, consumed by Database::ScanPlannedPartition — either
+// serially or from multiple morsel workers at once. Holds a pointer to the
+// caller's DataQuery; the plan must not outlive it.
+struct ScanPlan {
+  const DataQuery* query = nullptr;
+  CompiledEventPred compiled;
+  // Candidate entity sets resolved from predicates and pushdown; disengaged
+  // means "unconstrained side", empty would have short-circuited planning.
+  std::optional<std::unordered_set<uint32_t>> subject_set;
+  std::optional<std::unordered_set<uint32_t>> object_set;
+  std::optional<std::unordered_set<AgentId>> agent_set;
+  // Partitions that survived scheme-key and zone-map pruning, in partition
+  // (day, agent-group) order. This order is the deterministic merge order of
+  // the parallel scan.
+  std::vector<const Partition*> survivors;
+};
+
+// The shared epilogue of a morsel-driven scan (Database and MppCluster):
+// concatenates per-morsel result slots in slot order (never completion
+// order), folds the per-worker stats into `stats`, and applies the final
+// (start_time, id) sort. Consumes `slots`.
+std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* slots,
+                                          const std::vector<ScanStats>& worker_stats,
+                                          ScanStats* stats);
 
 struct DatabaseOptions {
   PartitionScheme scheme = PartitionScheme::kTimeSpace;
@@ -91,11 +122,35 @@ class Database : public EventStore {
                                      const std::optional<std::vector<AgentId>>& agents,
                                      ScanStats* stats = nullptr) const;
 
-  // Executes a data query. Results are sorted by (start_time, id) so that all
-  // engines and schedulers produce deterministic, comparable output.
-  // Partitions are skipped via scheme keys and zone maps before any scan.
+  // Executes a data query on the calling thread. Results are sorted by
+  // (start_time, id) so that all engines and schedulers produce
+  // deterministic, comparable output. Partitions are skipped via scheme keys
+  // and zone maps before any scan.
   std::vector<EventView> ExecuteQuery(const DataQuery& q,
                                       ScanStats* stats = nullptr) const override;
+
+  // Morsel-driven parallel execution: plans once, then scans the surviving
+  // partitions on `pool`'s workers (calling thread included), each morsel
+  // writing into its own result slot and per-worker ScanStats. Slots merge in
+  // partition order, so results are identical to ExecuteQuery — same events,
+  // same (start_time, id) order, same aggregate stats (plus parallel_morsels).
+  // Falls back to the serial scan loop when `pool` is null or fewer than two
+  // partitions survive pruning.
+  std::vector<EventView> ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
+                                              ThreadPool* pool) const override;
+  bool SupportsParallelScan() const override { return true; }
+
+  // The two scan phases, exposed so MppCluster can pool morsels from every
+  // segment into one work queue. PlanQuery returns nullopt when the query
+  // provably matches nothing before any partition is considered (op-mask
+  // contradiction, empty candidate entity set) — in that case no pruning
+  // counters move, matching the historical serial behavior. Partitions
+  // pruned during planning do count into `stats`. ScanPlannedPartition scans
+  // plan.survivors[i], appending matches in time order to `out` (not
+  // globally sorted — callers merge and sort).
+  std::optional<ScanPlan> PlanQuery(const DataQuery& q, ScanStats* stats) const;
+  void ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
+                            ScanStats* stats) const;
 
   // The distinct day indices covered by ingested data (for time-window
   // partitioned parallel execution).

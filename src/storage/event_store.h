@@ -4,6 +4,12 @@
 // MPP cluster (src/mpp/mpp_cluster.h). The engine is storage-agnostic; the
 // paper's Fig 6 (single node) and Fig 7 (parallel databases) configurations
 // differ only in which EventStore backs the engine.
+//
+// Scan contract: both entry points return the same matches in the same
+// (start_time, id) order and aggregate the same ScanStats (modulo the
+// parallel_morsels counter). ExecuteQuery is the serial path; stores that
+// report SupportsParallelScan() fan a query out across their partitions /
+// segments on a caller-provided pool via ExecuteQueryParallel.
 #ifndef AIQL_SRC_STORAGE_EVENT_STORE_H_
 #define AIQL_SRC_STORAGE_EVENT_STORE_H_
 
@@ -17,22 +23,43 @@
 
 namespace aiql {
 
+class ThreadPool;
+
 class EventStore {
  public:
   virtual ~EventStore() = default;
 
   virtual const EntityCatalog& catalog() const = 0;
 
-  // Executes a data query; results sorted by (start_time, id). Views stay
-  // valid for the lifetime of the store (until re-finalization).
+  // Executes a data query serially on the calling thread; results sorted by
+  // (start_time, id). Views stay valid for the lifetime of the store (until
+  // re-finalization). Must be const and thread-safe: parallel executions
+  // (morsel workers, day-split sub-queries, MPP segment scans) call it
+  // concurrently.
   virtual std::vector<EventView> ExecuteQuery(const DataQuery& query,
                                               ScanStats* stats) const = 0;
 
+  // Executes a data query using `pool` for intra-store parallelism when the
+  // store supports it: pruning-surviving partitions are enumerated into a
+  // morsel work queue and scanned by pool workers. Results and aggregate
+  // stats are identical to ExecuteQuery (parallel_morsels aside). The default
+  // falls back to the serial path; so does any store when `pool` is null.
+  virtual std::vector<EventView> ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
+                                                      ThreadPool* pool) const {
+    (void)pool;
+    return ExecuteQuery(query, stats);
+  }
+
+  // True when ExecuteQueryParallel actually fans out internally. The engine
+  // then hands its pool straight to the store instead of splitting queries
+  // itself.
+  virtual bool SupportsParallelScan() const { return false; }
+
   virtual TimeRange data_time_range() const = 0;
 
-  // True if the engine should split multi-day data queries into per-day
-  // sub-queries and run them on its own pool. Stores with internal
-  // parallelism (MPP segments) return false.
+  // True if the engine may fall back to splitting multi-day data queries into
+  // per-day sub-queries run on its own pool — the legacy coarse parallelism,
+  // used only when the store does not scan in parallel internally.
   virtual bool SupportsDaySplit() const = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "src/util/thread_pool.h"
 
+#include <atomic>
+
 namespace aiql {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -39,24 +41,86 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared by the caller and the enqueued helper tasks of one RunBulk call;
+// helper tasks may start after the call returned (the range already drained),
+// so everything they touch lives here behind a shared_ptr.
+struct BulkState {
+  std::function<void(size_t, size_t)> fn;
+  size_t count = 0;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t finished = 0;
+  std::exception_ptr error;
+
+  // Claims indices until the range drains; `worker` identifies the
+  // participant for the caller's per-worker scratch.
+  void Drain(size_t worker) {
+    for (;;) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) {
+        return;
+      }
+      try {
+        fn(worker, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error == nullptr) {
+          error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++finished == count) {
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::RunBulk(size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (count == 1) {
+    fn(0, 0);
+    return;
+  }
+  auto state = std::make_shared<BulkState>();
+  state->fn = fn;
+  state->count = count;
+  // Helper participants beyond the calling thread (worker id 0). Excess
+  // helpers beyond count-1 would only claim out-of-range indices.
+  size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      tasks_.push([state, worker = h + 1] { state->Drain(worker); });
+    }
+  }
+  cv_.notify_all();
+  state->Drain(0);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->finished == state->count; });
+    if (state->error != nullptr) {
+      std::rethrow_exception(state->error);
+    }
+  }
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) {
     return;
   }
-  if (n == 1 || workers_.size() == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      fn(i);
-    }
+  if (n == 1) {
+    fn(0);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
-  }
-  for (auto& f : futures) {
-    f.get();  // propagate exceptions
-  }
+  RunBulk(n, [&fn](size_t /*worker*/, size_t i) { fn(i); });
 }
 
 }  // namespace aiql

@@ -1,5 +1,7 @@
-// Fixed-size worker pool used for temporal/spatial parallel query execution
-// (paper §5.2 "Time Window Partition") and MPP segment scans.
+// Fixed-size worker pool used for parallel query execution: morsel-driven
+// partition scans in the storage layer (Database/MppCluster), the executor's
+// day-split fallback (paper §5.2 "Time Window Partition"), and MPP segment
+// scatter/gather.
 #ifndef AIQL_SRC_UTIL_THREAD_POOL_H_
 #define AIQL_SRC_UTIL_THREAD_POOL_H_
 
@@ -23,6 +25,11 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  // Upper bound on the number of concurrent participants a RunBulk /
+  // ParallelFor call can have: every pool worker plus the calling thread.
+  // Callers size per-worker scratch (stats, buffers) by this.
+  size_t max_participants() const { return workers_.size() + 1; }
+
   // Enqueues a task; the returned future reports completion and exceptions.
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -37,8 +44,25 @@ class ThreadPool {
     return fut;
   }
 
-  // Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
-  // Falls back to inline execution for n <= 1 or a single-thread pool.
+  // Bulk submit-and-wait, the morsel-driven execution primitive: participants
+  // (up to size() pool workers plus the calling thread) repeatedly claim the
+  // next unclaimed index in [0, count) from a shared atomic cursor until the
+  // range drains; returns once every index has finished.
+  //
+  // `fn(worker, index)` receives the claiming participant's id
+  // (worker < max_participants()) so callers can keep per-worker scratch
+  // without sharing. Work distribution is dynamic — a participant that draws
+  // a large morsel simply claims fewer — but which worker runs which index is
+  // nondeterministic; callers must make their merge order index-driven.
+  //
+  // Safe to call from inside a pool worker: the calling thread participates,
+  // so completion never depends on free pool capacity. The first exception
+  // thrown by `fn` is rethrown here after the range drains.
+  void RunBulk(size_t count, const std::function<void(size_t, size_t)>& fn);
+
+  // Runs fn(i) for i in [0, n) across the pool (calling thread included) and
+  // blocks until all finish. Built on RunBulk; kept for callers that need no
+  // worker identity.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

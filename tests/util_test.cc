@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/util/rng.h"
 #include "src/util/string_utils.h"
@@ -215,6 +217,79 @@ TEST(ThreadPoolTest, ExceptionPropagates) {
   ThreadPool pool(2);
   auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RunBulkRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.RunBulk(kN, [&](size_t /*worker*/, size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, RunBulkWorkerIdsStayInBounds) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.max_participants(), 4u);
+  std::atomic<size_t> max_seen{0};
+  pool.RunBulk(200, [&](size_t worker, size_t /*i*/) {
+    size_t prev = max_seen.load();
+    while (worker > prev && !max_seen.compare_exchange_weak(prev, worker)) {
+    }
+  });
+  EXPECT_LT(max_seen.load(), pool.max_participants());
+}
+
+TEST(ThreadPoolTest, RunBulkGivesEachWorkerPrivateSlots) {
+  // The per-worker scratch pattern the morsel scan relies on: concurrent
+  // participants index disjoint slots, so unsynchronized writes are safe.
+  ThreadPool pool(4);
+  std::vector<int> per_worker(pool.max_participants(), 0);
+  pool.RunBulk(500, [&](size_t worker, size_t /*i*/) { ++per_worker[worker]; });
+  int total = 0;
+  for (int c : per_worker) {
+    total += c;
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ThreadPoolTest, RunBulkPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.RunBulk(50,
+                            [&](size_t, size_t i) {
+                              if (i == 17) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RunBulkNestedInsideWorkerDoesNotDeadlock) {
+  // A morsel worker may itself issue a bulk scan (MPP segment scans calling
+  // into segment databases). The calling thread participates, so the inner
+  // call drains even when every pool worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> inner_sum{0};
+  pool.ParallelFor(8, [&](size_t /*i*/) {
+    pool.RunBulk(10, [&](size_t, size_t j) { inner_sum += static_cast<int>(j); });
+  });
+  EXPECT_EQ(inner_sum.load(), 8 * 45);
+}
+
+TEST(ThreadPoolTest, RunBulkFromManyExternalThreads) {
+  // Concurrent RunBulk calls from distinct caller threads share one pool.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back(
+        [&] { pool.RunBulk(100, [&](size_t, size_t) { ++total; }); });
+  }
+  for (auto& c : callers) {
+    c.join();
+  }
+  EXPECT_EQ(total.load(), 400);
 }
 
 }  // namespace
