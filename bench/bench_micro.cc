@@ -6,6 +6,7 @@
 
 #include <unordered_map>
 
+#include "src/core/engine.h"
 #include "src/core/tuple_set.h"
 #include "src/storage/database.h"
 #include "src/util/rng.h"
@@ -192,6 +193,63 @@ void BM_Join(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Join)->Arg(0)->Arg(1);
+
+// Prepare/bind/execute vs one-shot Execute on a two-pattern query: the
+// one-shot arm re-lexes, re-parses, re-infers, and replans per iteration;
+// the prepared arm amortizes compilation across Runs and serves scan plans
+// from the PreparedQuery's cache. The plan_cache_hit_rate counter reports
+// cached fetches per data query.
+void BM_PreparedVsOneShot(benchmark::State& state) {
+  Database* db = SharedDb();
+  static AiqlEngine* engine = new AiqlEngine(db, EngineOptions{.parallelism = 1});
+  const std::string text = R"(
+      agentid = 3 (from "1970-01-01" to "1970-01-03")
+      proc p1["/bin/p7"] read file f1 as evt1
+      proc p2["/bin/p9"] read file f1 as evt2
+      with evt1 before evt2
+      return count p1)";
+  const bool prepared_arm = state.range(0) == 1;
+
+  uint64_t hits = 0, queries = 0, rows = 0;
+  if (prepared_arm) {
+    auto prepared = engine->Prepare(text);
+    if (!prepared.ok()) {
+      state.SkipWithError(prepared.error().c_str());
+      return;
+    }
+    auto bound = prepared.value().Bind();
+    if (!bound.ok()) {
+      state.SkipWithError(bound.error().c_str());
+      return;
+    }
+    for (auto _ : state) {
+      auto r = bound.value().Run();
+      if (!r.ok()) {
+        state.SkipWithError(r.error().c_str());
+        return;
+      }
+      hits += r.value().exec_stats().plan_cache_hits;
+      queries += r.value().exec_stats().data_queries;
+      rows += r.value().num_rows();
+    }
+  } else {
+    for (auto _ : state) {
+      auto r = engine->Execute(text);
+      if (!r.ok()) {
+        state.SkipWithError(r.error().c_str());
+        return;
+      }
+      hits += r.value().exec_stats().plan_cache_hits;
+      queries += r.value().exec_stats().data_queries;
+      rows += r.value().num_rows();
+    }
+  }
+  state.counters["plan_cache_hit_rate"] =
+      queries == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(queries);
+  state.SetLabel(prepared_arm ? "prepared" : "one-shot");
+  benchmark::DoNotOptimize(rows);
+}
+BENCHMARK(BM_PreparedVsOneShot)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace aiql

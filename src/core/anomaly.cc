@@ -72,7 +72,7 @@ std::string KeyString(const std::vector<Value>& key) {
 
 Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx,
                                    const ExecOptions& options, ThreadPool* pool,
-                                   ExecStats* stats) {
+                                   ExecutionSession* session) {
   if (ctx.patterns.size() != 1 || !ctx.window.has_value()) {
     return Result<ResultTable>::Error("not an anomaly query context");
   }
@@ -82,11 +82,14 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
     return Result<ResultTable>::Error("window and step must be positive");
   }
 
-  ExecStats local;
-  ExecStats* st = stats != nullptr ? stats : &local;
+  ExecutionSession local;
+  if (session == nullptr) {
+    session = &local;
+  }
+  ExecStats* st = &session->stats;
   st->pattern_matches.assign(1, 0);
   std::vector<EventView> events =
-      FetchDataQuery(db, ctx.patterns[0].query, options, pool, st);
+      FetchDataQuery(db, ctx.patterns[0].query, options, pool, session);
   st->pattern_matches[0] = events.size();
   // Intra-pattern attribute relationships filter single events.
   for (const AttrRelation& rel : ctx.attr_rels) {
@@ -123,6 +126,9 @@ Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx
   };
 
   for (TimestampMs ws = range.begin; ws < range.end; ws += step) {
+    if (session->IsCancelled()) {
+      return Result<ResultTable>::Error("execution cancelled");
+    }
     TimestampMs we = std::min<TimestampMs>(ws + window, range.end);
     auto first = lower(ws);
     auto last = lower(we);

@@ -25,10 +25,12 @@ double Ewma(const std::vector<double>& series, double alpha);
 
 // Executes an anomaly query context. The result table carries a leading
 // "window" column (window start, formatted) followed by the return items;
-// one row per (window, group) passing the having filter.
+// one row per (window, group) passing the having filter. `session` carries
+// the execution's stats, plan cache, and cancellation flag (checked once per
+// window).
 Result<ResultTable> ExecuteAnomaly(const EventStore& db, const QueryContext& ctx,
                                    const ExecOptions& options, ThreadPool* pool,
-                                   ExecStats* stats);
+                                   ExecutionSession* session);
 
 }  // namespace aiql
 

@@ -3,7 +3,12 @@
 // Wires together the parser, inference, scheduling executors, anomaly
 // executor, and projector over a finalized Database (paper Fig 2).
 //
-// Typical use:
+// The engine is concurrency-safe: every query entry point is const, and all
+// per-execution state (statistics, cancellation, plan cache) lives in an
+// ExecutionSession owned by the call, so one engine serves any number of
+// concurrent executions over its read-only store.
+//
+// One-shot use:
 //   Database db;                       // ingest + Finalize()
 //   AiqlEngine engine(&db);
 //   auto result = engine.Execute(R"(
@@ -12,14 +17,24 @@
 //       ...
 //       return p1, p2)");
 //   if (result.ok()) std::cout << result.value().ToString();
+//
+// Iterative investigation (compile once, execute many — see
+// prepared_query.h):
+//   auto prepared = engine.Prepare("... (from $t0 to $t1) ... return p1");
+//   auto bound = prepared.value().Bind(ParamSet()
+//       .Set("t0", "01/01/2017").Set("t1", "01/02/2017"));
+//   auto result = bound.value().Run();  // re-bind/re-run without re-parsing
 #ifndef AIQL_SRC_CORE_ENGINE_H_
 #define AIQL_SRC_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/core/anomaly.h"
+#include "src/core/exec_session.h"
 #include "src/core/executor.h"
+#include "src/core/prepared_query.h"
 #include "src/core/projector.h"
 #include "src/core/result_table.h"
 #include "src/lang/query_context.h"
@@ -55,21 +70,41 @@ class AiqlEngine {
   AiqlEngine(const AiqlEngine&) = delete;
   AiqlEngine& operator=(const AiqlEngine&) = delete;
 
-  // Parses, resolves, and executes an AIQL query.
-  Result<ResultTable> Execute(const std::string& text);
+  // Compiles a query text into a PreparedQuery: lex + parse + $parameter
+  // collection + inference validation happen once; executions then go
+  // through Bind/Run. The prepared query borrows this engine and must not
+  // outlive it (nor the database's current finalization).
+  Result<PreparedQuery> Prepare(const std::string& text) const;
 
-  // Executes an already-compiled query context.
-  Result<ResultTable> ExecuteContext(const QueryContext& ctx);
+  // Parses, resolves, and executes an AIQL query — a thin
+  // Prepare + Bind + Run wrapper. Text with $parameters fails here with an
+  // "unbound parameter" diagnostic; use Prepare/Bind instead.
+  Result<ResultTable> Execute(const std::string& text) const;
 
-  // Statistics of the most recent ExecuteContext call.
-  const ExecStats& last_stats() const { return stats_; }
+  // Executes an already-compiled query context with a private session.
+  Result<ResultTable> ExecuteContext(const QueryContext& ctx) const;
+
+  // Re-entrant core entry point: executes under a caller-owned session
+  // (stats, time budget, cancellation, plan cache). Pass nullptr for a
+  // private session. The resulting table carries the session's final stats.
+  Result<ResultTable> ExecuteContext(const QueryContext& ctx, ExecutionSession* session) const;
+
+  // DEPRECATED single-threaded shim: statistics of the most recent execution
+  // on this engine. Access is thread-safe (no data race under concurrent
+  // Execute), but with concurrent executions the value is whichever run
+  // finished last — meaningful only for single-threaded callers. Prefer
+  // ResultTable::exec_stats() or a caller-owned ExecutionSession.
+  ExecStats last_stats() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
   const EventStore* db_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // created when parallelism > 1
-  ExecStats stats_;
+  // last_stats() shim state; mutable because executions are const.
+  mutable std::mutex stats_mu_;
+  mutable ExecStats last_stats_;
 };
 
 }  // namespace aiql

@@ -154,6 +154,10 @@ std::optional<Value> EvalScalarExpr(const Expr& e, const RowAccessor* row, const
     }
     case Expr::Kind::kString:
       return Value(e.str);
+    case Expr::Kind::kParam:
+      // Unbound parameter: inference rejects these before execution, so this
+      // is unreachable in practice; evaluate to null defensively.
+      return std::nullopt;
     case Expr::Kind::kVarRef: {
       if (e.resolved.has_value() && e.resolved->side == RefSide::kAlias) {
         if (env != nullptr && env->lookup) {

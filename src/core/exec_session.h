@@ -1,0 +1,55 @@
+// ExecutionSession: the per-execution state of one query run.
+//
+// The engine used to accumulate statistics into an engine member, which made
+// AiqlEngine single-threaded by construction. All execution state now travels
+// in a session owned by the caller (or created per call), so a single const
+// engine serves concurrent executions: each Run gets its own stats, its own
+// cancellation flag, and a pointer to the prepared query's shared plan cache.
+#ifndef AIQL_SRC_CORE_EXEC_SESSION_H_
+#define AIQL_SRC_CORE_EXEC_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/data_query.h"
+
+namespace aiql {
+
+class ScanPlanCache;
+
+// Per-execution statistics (scan layer + executor layer).
+struct ExecStats {
+  ScanStats scan;
+  size_t data_queries = 0;
+  std::vector<size_t> pattern_matches;  // rows fetched per pattern
+  size_t join_work = 0;                 // budget charge total
+  size_t final_tuples = 0;
+  size_t pushdown_applications = 0;
+  size_t parallel_slices = 0;
+  // Data-query fetches that reused a compiled ScanPlan instead of replanning
+  // (prepare/bind/execute lifecycle; see src/storage/plan_cache.h).
+  uint64_t plan_cache_hits = 0;
+};
+
+struct ExecutionSession {
+  ExecStats stats;
+
+  // Cooperative cancellation: set (from any thread) to abort the execution at
+  // the next pattern fetch, join-budget charge, or projection row.
+  std::atomic<bool> cancelled{false};
+
+  // Per-execution time budget in ms; 0 inherits EngineOptions::time_budget_ms.
+  int64_t time_budget_ms = 0;
+
+  // Compiled-scan-plan cache shared by all executions of one PreparedQuery;
+  // null disables plan reuse. Not owned.
+  ScanPlanCache* plan_cache = nullptr;
+
+  void RequestCancel() { cancelled.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const { return cancelled.load(std::memory_order_relaxed); }
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_CORE_EXEC_SESSION_H_

@@ -21,14 +21,18 @@ const char* SchedulerKindName(SchedulerKind k) {
 
 std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
                                       const ExecOptions& options, ThreadPool* pool,
-                                      ExecStats* stats) {
+                                      ExecutionSession* session) {
+  ExecStats* stats = &session->stats;
   ++stats->data_queries;
   bool parallel = pool != nullptr && options.parallelism > 1;
   // Primary path: hand the pool to the store, which enumerates its pruning
   // survivors into a morsel queue (Database partitions, MPP segment
-  // partitions) — fan-out lives where the data lives.
+  // partitions) — fan-out lives where the data lives. The session's plan
+  // cache lets stores that support it (Database) skip replanning repeated
+  // constraint sets.
   if (parallel && options.storage_parallel && db.SupportsParallelScan()) {
-    return db.ExecuteQueryParallel(query, &stats->scan, pool);
+    return db.ExecuteQueryCached(query, &stats->scan, pool, session->plan_cache,
+                                 &stats->plan_cache_hits);
   }
   // Fallback for stores without internal parallelism: split multi-day time
   // windows into per-day sub-queries and run those on the pool.
@@ -64,7 +68,8 @@ std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& que
       return out;
     }
   }
-  return db.ExecuteQuery(query, &stats->scan);
+  return db.ExecuteQueryCached(query, &stats->scan, nullptr, session->plan_cache,
+                               &stats->plan_cache_hits);
 }
 
 namespace {
@@ -133,13 +138,16 @@ std::vector<Relationship> SortedRelationships(const QueryContext& ctx,
 class MultieventExecutor {
  public:
   MultieventExecutor(const EventStore& db, const QueryContext& ctx, const ExecOptions& options,
-                     ThreadPool* pool, ExecStats* stats)
+                     ThreadPool* pool, ExecutionSession* session)
       : db_(db),
         ctx_(ctx),
         options_(options),
         pool_(pool),
-        stats_(stats),
-        budget_(options.time_budget_ms, options.max_join_work),
+        session_(session),
+        stats_(&session->stats),
+        // AiqlEngine::ExecuteContext already folded the session's budget
+        // override into options.time_budget_ms.
+        budget_(options.time_budget_ms, options.max_join_work, &session->cancelled),
         joiner_(db.catalog(), &budget_,
                 JoinStrategy{
                     .hash_equality = options.scheduler != SchedulerKind::kBigJoin,
@@ -169,7 +177,7 @@ class MultieventExecutor {
         rel != nullptr && known != nullptr) {
       InjectPushdown(&q, *rel, pattern, *known);
     }
-    matches_[pattern] = FetchDataQuery(db_, q, options_, pool_, stats_);
+    matches_[pattern] = FetchDataQuery(db_, q, options_, pool_, session_);
     ApplyIntraRels(ctx_, pattern, &matches_[pattern], db_.catalog());
     executed_[pattern] = true;
     stats_->pattern_matches[pattern] = matches_[pattern].size();
@@ -293,6 +301,9 @@ class MultieventExecutor {
     }
 
     for (const Relationship& rel : rels) {
+      if (session_->IsCancelled()) {
+        return Result<TupleSet>::Error("execution cancelled");
+      }
       size_t a = rel.left();
       size_t b = rel.right();
       std::vector<Relationship> rel_vec{rel};
@@ -406,6 +417,9 @@ class MultieventExecutor {
     matches_.assign(n, {});
     executed_.assign(n, false);
     for (size_t i = 0; i < n; ++i) {
+      if (session_->IsCancelled()) {
+        return Result<TupleSet>::Error("execution cancelled");
+      }
       ExecutePattern(i, nullptr, nullptr);
     }
     std::vector<Relationship> rels = InterPatternRelationships(ctx_);
@@ -433,6 +447,7 @@ class MultieventExecutor {
   const QueryContext& ctx_;
   const ExecOptions& options_;
   ThreadPool* pool_;
+  ExecutionSession* session_;
   ExecStats* stats_;
   BudgetGuard budget_;
   TupleJoiner joiner_;
@@ -446,9 +461,9 @@ class MultieventExecutor {
 
 Result<TupleSet> ExecuteMultievent(const EventStore& db, const QueryContext& ctx,
                                    const ExecOptions& options, ThreadPool* pool,
-                                   ExecStats* stats) {
-  ExecStats local;
-  MultieventExecutor executor(db, ctx, options, pool, stats != nullptr ? stats : &local);
+                                   ExecutionSession* session) {
+  ExecutionSession local;
+  MultieventExecutor executor(db, ctx, options, pool, session != nullptr ? session : &local);
   return executor.Run();
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/exec_session.h"
 #include "src/core/tuple_set.h"
 #include "src/lang/query_context.h"
 #include "src/storage/event_store.h"
@@ -59,29 +60,23 @@ struct ExecOptions {
   size_t pushdown_value_limit = 262144;
 };
 
-struct ExecStats {
-  ScanStats scan;
-  size_t data_queries = 0;
-  std::vector<size_t> pattern_matches;  // rows fetched per pattern
-  size_t join_work = 0;                 // budget charge total
-  size_t final_tuples = 0;
-  size_t pushdown_applications = 0;
-  size_t parallel_slices = 0;
-};
-
 // Executes the multievent part of a query context, producing the final tuple
-// set over all patterns. Fails on budget exhaustion or internal errors.
+// set over all patterns. Fails on budget exhaustion, cancellation (via the
+// session's flag), or internal errors. `session` carries the execution's
+// stats and optional plan cache; it must outlive the call.
 Result<TupleSet> ExecuteMultievent(const EventStore& db, const QueryContext& ctx,
                                    const ExecOptions& options, ThreadPool* pool,
-                                   ExecStats* stats);
+                                   ExecutionSession* session);
 
 // Fetches the events matching one data query. With a pool and parallelism
 // > 1, prefers the store's internal morsel-driven partition scan
 // (ExecuteQueryParallel); stores without one get the day-split fallback:
 // multi-day time windows split into per-day sub-queries run on the pool.
+// Consults the session's plan cache (stores that support it skip replanning
+// repeated constraint sets).
 std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
                                       const ExecOptions& options, ThreadPool* pool,
-                                      ExecStats* stats);
+                                      ExecutionSession* session);
 
 }  // namespace aiql
 

@@ -1,0 +1,55 @@
+#include "src/core/prepared_query.h"
+
+#include "src/core/engine.h"
+#include "src/storage/plan_cache.h"
+
+namespace aiql {
+
+Result<BoundQuery> PreparedQuery::Bind(const ParamSet& params) const {
+  // Parameterless fast path: reuse the context resolved at Prepare. A
+  // non-empty ParamSet still goes through BindParams so unknown names get
+  // the "query declares no parameters" diagnostic.
+  if (resolved_ != nullptr && params.empty()) {
+    return BoundQuery(engine_, resolved_, cache_);
+  }
+  ast::Query bound_ast = ast_;
+  Status s = BindParams(&bound_ast, params);
+  if (!s.ok()) {
+    return Result<BoundQuery>(s);
+  }
+  Result<QueryContext> ctx = ResolveQuery(bound_ast);
+  if (!ctx.ok()) {
+    return Result<BoundQuery>(ctx.status());
+  }
+  return BoundQuery(engine_, std::make_shared<const QueryContext>(ctx.take()), cache_);
+}
+
+Result<ResultTable> PreparedQuery::Run() const {
+  Result<BoundQuery> bound = Bind();
+  if (!bound.ok()) {
+    return Result<ResultTable>(bound.status());
+  }
+  return bound.value().Run();
+}
+
+Result<ResultTable> BoundQuery::Run() const {
+  ExecutionSession session;
+  return Run(&session);
+}
+
+Result<ResultTable> BoundQuery::Run(ExecutionSession* session) const {
+  ExecutionSession local;
+  if (session == nullptr) {
+    session = &local;
+  }
+  // Point the session at this query's cache only for the duration of the
+  // call: the cache's lifetime is tied to the PreparedQuery, and a caller
+  // may reuse the session with other entry points afterwards.
+  ScanPlanCache* previous = session->plan_cache;
+  session->plan_cache = cache_.get();
+  Result<ResultTable> out = engine_->ExecuteContext(*ctx_, session);
+  session->plan_cache = previous;
+  return out;
+}
+
+}  // namespace aiql

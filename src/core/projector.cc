@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/core/exec_session.h"
+
 namespace aiql {
 namespace {
 
@@ -165,7 +167,8 @@ Status SortAndLimit(const QueryContext& ctx, ResultTable* table) {
 }
 
 Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tuples,
-                                   const EntityCatalog& catalog) {
+                                   const EntityCatalog& catalog,
+                                   const ExecutionSession* session) {
   const std::vector<size_t>& pattern_order = tuples.patterns();
 
   bool aggregated = !ctx.group_by.empty();
@@ -182,6 +185,9 @@ Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tupl
   if (!aggregated) {
     // Row-wise projection.
     for (const auto& row : tuples.rows()) {
+      if (session != nullptr && session->IsCancelled()) {
+        return Result<ResultTable>::Error("execution cancelled");
+      }
       RowAccessor acc(row, pattern_order, catalog);
       std::vector<Value> out_row;
       out_row.reserve(ctx.items.size());
@@ -231,6 +237,9 @@ Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tupl
     }
 
     for (auto& [key_str, slot] : groups) {
+      if (session != nullptr && session->IsCancelled()) {
+        return Result<ResultTable>::Error("execution cancelled");
+      }
       const auto& rows = slot.second;
       std::unordered_map<std::string, Value> agg_values;
       for (const Expr* call : agg_calls) {

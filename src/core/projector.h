@@ -13,9 +13,13 @@
 
 namespace aiql {
 
+struct ExecutionSession;
+
 // Projects the final tuple set of a multievent query into a result table.
+// When a session is supplied, its cancellation flag is honored between rows.
 Result<ResultTable> ProjectResults(const QueryContext& ctx, const TupleSet& tuples,
-                                   const EntityCatalog& catalog);
+                                   const EntityCatalog& catalog,
+                                   const ExecutionSession* session = nullptr);
 
 // --- helpers shared with the anomaly executor ------------------------------
 

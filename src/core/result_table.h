@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/exec_session.h"
 #include "src/util/value.h"
 
 namespace aiql {
@@ -34,9 +35,16 @@ class ResultTable {
 
   bool SameRowsAs(const ResultTable& other) const;
 
+  // Statistics of the execution that produced this table. Each result owns
+  // its stats, so concurrent executions against one engine never share
+  // mutable state (prefer this over AiqlEngine::last_stats()).
+  const ExecStats& exec_stats() const { return exec_stats_; }
+  void set_exec_stats(ExecStats stats) { exec_stats_ = std::move(stats); }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<Value>> rows_;
+  ExecStats exec_stats_;
 };
 
 }  // namespace aiql

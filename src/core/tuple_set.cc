@@ -13,9 +13,12 @@ Status BudgetGuard::Charge(size_t produced) {
                          std::to_string(max_rows_) + " rows");
   }
   since_time_check_ += produced;
-  if (has_deadline_ && since_time_check_ >= 4096) {
+  if (since_time_check_ >= 4096) {
     since_time_check_ = 0;
-    if (std::chrono::steady_clock::now() > deadline_) {
+    if (cancelled_ != nullptr && cancelled_->load(std::memory_order_relaxed)) {
+      return Status::Error("execution cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
       return Status::Error("execution budget exceeded: time limit reached");
     }
   }

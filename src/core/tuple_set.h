@@ -7,6 +7,7 @@
 #ifndef AIQL_SRC_CORE_TUPLE_SET_H_
 #define AIQL_SRC_CORE_TUPLE_SET_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -17,19 +18,24 @@
 
 namespace aiql {
 
-// Wall-clock and cardinality guard for query execution. The paper's baseline
-// measurements cap queries at one hour; benches use much smaller budgets.
+// Wall-clock, cardinality, and cancellation guard for query execution. The
+// paper's baseline measurements cap queries at one hour; benches use much
+// smaller budgets. `cancelled` (optional, not owned) is the execution
+// session's cooperative-cancel flag: joins abort at the next Charge after it
+// is set.
 class BudgetGuard {
  public:
   BudgetGuard() = default;
-  BudgetGuard(int64_t budget_ms, size_t max_rows) : max_rows_(max_rows) {
+  BudgetGuard(int64_t budget_ms, size_t max_rows, const std::atomic<bool>* cancelled = nullptr)
+      : max_rows_(max_rows), cancelled_(cancelled) {
     if (budget_ms > 0) {
       deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
       has_deadline_ = true;
     }
   }
 
-  // Registers `produced` new intermediate rows; fails when over budget.
+  // Registers `produced` new intermediate rows; fails when over budget or
+  // after cancellation.
   Status Charge(size_t produced);
 
   size_t rows_produced() const { return rows_; }
@@ -40,6 +46,7 @@ class BudgetGuard {
   size_t max_rows_ = 0;  // 0 = unlimited
   size_t rows_ = 0;
   size_t since_time_check_ = 0;
+  const std::atomic<bool>* cancelled_ = nullptr;
 };
 
 class TupleSet {

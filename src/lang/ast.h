@@ -17,6 +17,24 @@
 
 namespace aiql::ast {
 
+// <twind> ::= 'at' (<string>|$p) | 'from' (<string>|$p) 'to' (<string>|$p)
+//
+// Literal endpoints are resolved to timestamps at parse time; parameterized
+// endpoints carry the $name (and its source line) until PreparedQuery::Bind
+// substitutes a datetime string. `fixed` is engaged iff the whole window was
+// literal (or has been fully bound).
+struct TimeWindowSpec {
+  std::optional<TimeRange> fixed;
+  std::string at_param;              // (at $p)
+  std::string from_param, to_param;  // parameterized sides of from..to
+  std::optional<TimestampMs> from_fixed, to_fixed;
+  int line = 0;
+
+  bool parameterized() const {
+    return !at_param.empty() || !from_param.empty() || !to_param.empty();
+  }
+};
+
 // <entity> ::= <entity_type> <e_id>? ('[' <attr_cstr> ']')?
 // Attribute-constraint leaves with an empty attr name await default-attribute
 // inference.
@@ -34,7 +52,7 @@ struct EventPattern {
   EntityRef object;
   std::string evt_id;    // empty = anonymous
   PredExpr evt_constraint;
-  std::optional<TimeRange> time_window;
+  std::optional<TimeWindowSpec> time_window;
   int line = 0;
 };
 
@@ -89,10 +107,25 @@ struct Filters {
 
 // <global_cstr> ::= <cstr> | '(' <twind> ')' | <slide_wind>
 struct GlobalConstraints {
-  PredExpr constraint;                    // e.g. agentid = 1
-  std::optional<TimeRange> time_window;   // (at "...") / (from "..." to "...")
-  std::optional<DurationMs> window;       // sliding window length
-  std::optional<DurationMs> step;         // sliding window step
+  PredExpr constraint;                     // e.g. agentid = 1
+  // All (at "...") / (from "..." to "...") windows in source order; the
+  // resolved query time range is their intersection. Kept as specs (not a
+  // single TimeRange) because parameterized windows resolve only at Bind.
+  std::vector<TimeWindowSpec> time_windows;
+  std::optional<DurationMs> window;         // sliding window length
+  std::optional<DurationMs> step;           // sliding window step
+
+  // Intersection of the fully-literal windows; nullopt when none are literal.
+  // Convenience for tests and tools that inspect the raw AST.
+  std::optional<TimeRange> LiteralTimeWindow() const {
+    std::optional<TimeRange> out;
+    for (const TimeWindowSpec& w : time_windows) {
+      if (w.fixed.has_value()) {
+        out = out.has_value() ? out->Intersect(*w.fixed) : *w.fixed;
+      }
+    }
+    return out;
+  }
 };
 
 struct MultieventQuery {

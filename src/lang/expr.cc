@@ -48,6 +48,14 @@ Expr Expr::String(std::string v) {
   return e;
 }
 
+Expr Expr::Param(std::string name, int line) {
+  Expr e;
+  e.kind = Kind::kParam;
+  e.name = std::move(name);
+  e.line = line;
+  return e;
+}
+
 Expr Expr::Var(std::string name, std::string attr) {
   Expr e;
   e.kind = Kind::kVarRef;
@@ -115,6 +123,8 @@ std::string Expr::ToString() const {
     }
     case Kind::kString:
       return "\"" + str + "\"";
+    case Kind::kParam:
+      return "$" + name;
     case Kind::kVarRef:
       return attr.empty() ? name : name + "." + attr;
     case Kind::kHistRef:

@@ -36,6 +36,7 @@ struct Expr {
   enum class Kind : uint8_t {
     kNumber,   // numeric literal
     kString,   // string literal
+    kParam,    // $name: unbound query parameter (replaced by Bind)
     kVarRef,   // name or name.attr
     kHistRef,  // name[k]: aggregation alias k windows back
     kCall,     // func(args...): count/sum/avg/min/max/count_distinct/SMA/...
@@ -46,8 +47,9 @@ struct Expr {
   Kind kind = Kind::kNumber;
   double number = 0;
   std::string str;
+  int line = 0;  // source line; set for kParam (bind diagnostics)
 
-  // kVarRef / kHistRef
+  // kVarRef / kHistRef / kParam
   std::string name;
   std::string attr;          // empty => infer default attribute
   int hist_offset = 0;       // kHistRef
@@ -63,6 +65,7 @@ struct Expr {
 
   static Expr Number(double v);
   static Expr String(std::string v);
+  static Expr Param(std::string name, int line);
   static Expr Var(std::string name, std::string attr = "");
   static Expr Hist(std::string name, int offset);
   static Expr Call(std::string func, std::vector<Expr> args);

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/lang/params.h"
 #include "src/lang/parser.h"
 #include "src/lang/query_context.h"
 #include "src/util/string_utils.h"
@@ -105,6 +106,17 @@ std::optional<std::vector<AgentId>> IntersectAgents(
 class Resolver {
  public:
   Result<QueryContext> Resolve(const ast::Query& q) {
+    // Execution needs concrete values everywhere (agent extraction, LIKE
+    // detection, time bounds), so a query still carrying $parameters cannot
+    // be resolved — this is the "unbound parameter at run time" diagnostic.
+    std::vector<ParamInfo> unbound = CollectParams(q);
+    if (!unbound.empty()) {
+      return Result<QueryContext>(
+          LineError(unbound.front().line,
+                    "unbound parameter $" + unbound.front().name +
+                        " — prepare the query and supply values via PreparedQuery::Bind"));
+    }
+
     ctx_.kind = q.kind;
     ctx_.text = q.text;
     ctx_.ast = q;
@@ -151,7 +163,15 @@ class Resolver {
 
  private:
   Status ResolveGlobal(const ast::GlobalConstraints& global) {
-    ctx_.global_time = global.time_window.value_or(TimeRange{});
+    TimeRange time;  // unbounded default
+    for (const ast::TimeWindowSpec& w : global.time_windows) {
+      Result<TimeRange> r = ResolveTimeWindow(w);
+      if (!r.ok()) {
+        return r.status();
+      }
+      time = time.Intersect(r.value());
+    }
+    ctx_.global_time = time;
     ctx_.window = global.window;
     ctx_.step = global.step;
     ctx_.global_agents = AgentIdsFromPred(global.constraint);
@@ -273,7 +293,11 @@ class Resolver {
 
       q.time = ctx_.global_time;
       if (p.time_window.has_value()) {
-        q.time = q.time.Intersect(*p.time_window);
+        Result<TimeRange> r = ResolveTimeWindow(*p.time_window);
+        if (!r.ok()) {
+          return r.status();
+        }
+        q.time = q.time.Intersect(r.value());
       }
 
       // Spatial constraints: global agentid plus any agentid equality baked
@@ -367,6 +391,9 @@ class Resolver {
       case Expr::Kind::kNumber:
       case Expr::Kind::kString:
         return Status::Ok();
+      case Expr::Kind::kParam:
+        // Unreachable: Resolve() rejects queries with unbound parameters.
+        return LineError(e->line, "unbound parameter $" + e->name);
       case Expr::Kind::kVarRef: {
         if (aliases_visible && e->attr.empty() && aliases_.count(e->name) > 0) {
           e->resolved = ResolvedRef{0, RefSide::kAlias, e->name};

@@ -13,6 +13,8 @@ const char* TokenTypeName(TokenType t) {
       return "string";
     case TokenType::kNumber:
       return "number";
+    case TokenType::kParam:
+      return "parameter";
     case TokenType::kLParen:
       return "'('";
     case TokenType::kRParen:
@@ -178,6 +180,23 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         ++col;
       }
       push(TokenType::kIdent, input.substr(start, i - start), tline, tcol);
+      continue;
+    }
+    // $name — a query parameter placeholder (PreparedQuery::Bind).
+    if (c == '$') {
+      if (i + 1 >= n || !IsIdentStart(input[i + 1])) {
+        return Result<std::vector<Token>>::Error(
+            "line " + std::to_string(tline) + ", col " + std::to_string(tcol) +
+            ": expected a parameter name after '$'");
+      }
+      ++i;
+      ++col;
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) {
+        ++i;
+        ++col;
+      }
+      push(TokenType::kParam, input.substr(start, i - start), tline, tcol);
       continue;
     }
     auto two = [&](char a, char b) { return c == a && i + 1 < n && input[i + 1] == b; };

@@ -15,6 +15,7 @@ enum class TokenType : uint8_t {
   kIdent,
   kString,
   kNumber,
+  kParam,  // $name — a query parameter (text holds the name without '$')
   kLParen,
   kRParen,
   kLBracket,

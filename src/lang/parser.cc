@@ -132,6 +132,9 @@ class Parser {
     if (t.type == TokenType::kIdent || t.type == TokenType::kNumber) {
       return "'" + t.text + "'";
     }
+    if (t.type == TokenType::kParam) {
+      return "'$" + t.text + "'";
+    }
     if (t.type == TokenType::kString) {
       return "string \"" + t.text + "\"";
     }
@@ -170,7 +173,16 @@ class Parser {
       }
       return Value(t.number);
     }
+    if (t.type == TokenType::kParam) {
+      return Value::Param(t.text, t.line);
+    }
     return Value(t.text);
+  }
+
+  // Token types usable as a constraint value: literal or $parameter.
+  static bool IsValueToken(const Token& t) {
+    return t.type == TokenType::kString || t.type == TokenType::kNumber ||
+           t.type == TokenType::kParam;
   }
 
   // Equality against a wildcard string means LIKE (paper queries write
@@ -194,14 +206,12 @@ class Parser {
           (Peek().type == TokenType::kIdent &&
            (EqualsIgnoreCase(Peek().text, "at") || EqualsIgnoreCase(Peek().text, "from")))) {
         Advance();  // '('
-        TimeRange range;
-        Status s = ParseTimeWindow(&range);
+        ast::TimeWindowSpec spec;
+        Status s = ParseTimeWindow(&spec);
         if (!s.ok()) {
           return s;
         }
-        out->time_window = out->time_window.has_value()
-                               ? out->time_window->Intersect(range)
-                               : range;
+        out->time_windows.push_back(std::move(spec));
         s = Expect(TokenType::kRParen, "time window");
         if (!s.ok()) {
           return s;
@@ -250,40 +260,61 @@ class Parser {
     }
   }
 
-  Status ParseTimeWindow(TimeRange* out) {
+  // One endpoint of a from..to window: a datetime string or a $parameter.
+  Status ParseTimeEndpoint(const char* after, std::optional<TimestampMs>* fixed,
+                           std::string* param) {
+    if (Cur().type == TokenType::kParam) {
+      *param = Cur().text;
+      Advance();
+      return Status::Ok();
+    }
+    if (Cur().type != TokenType::kString) {
+      return ErrStatus(std::string("expected a datetime string or $parameter after '") + after +
+                       "'");
+    }
+    Result<TimestampMs> t = ParseDateTime(Cur().text);
+    if (!t.ok()) {
+      return ErrStatus(t.error());
+    }
+    Advance();
+    *fixed = t.value();
+    return Status::Ok();
+  }
+
+  Status ParseTimeWindow(ast::TimeWindowSpec* out) {
+    out->line = Cur().line;
     if (AcceptIdent("at")) {
+      if (Cur().type == TokenType::kParam) {
+        out->at_param = Cur().text;
+        Advance();
+        return Status::Ok();
+      }
       if (Cur().type != TokenType::kString) {
-        return ErrStatus("expected a datetime string after 'at'");
+        return ErrStatus("expected a datetime string or $parameter after 'at'");
       }
       Result<TimeRange> r = ParseDateTimeRange(Cur().text);
       if (!r.ok()) {
         return ErrStatus(r.error());
       }
       Advance();
-      *out = r.value();
+      out->fixed = r.value();
       return Status::Ok();
     }
     if (AcceptIdent("from")) {
-      if (Cur().type != TokenType::kString) {
-        return ErrStatus("expected a datetime string after 'from'");
+      Status s = ParseTimeEndpoint("from", &out->from_fixed, &out->from_param);
+      if (!s.ok()) {
+        return s;
       }
-      Result<TimestampMs> begin = ParseDateTime(Cur().text);
-      if (!begin.ok()) {
-        return ErrStatus(begin.error());
-      }
-      Advance();
       if (!AcceptIdent("to")) {
         return ErrStatus("expected 'to' in time window");
       }
-      if (Cur().type != TokenType::kString) {
-        return ErrStatus("expected a datetime string after 'to'");
+      s = ParseTimeEndpoint("to", &out->to_fixed, &out->to_param);
+      if (!s.ok()) {
+        return s;
       }
-      Result<TimestampMs> end = ParseDateTime(Cur().text);
-      if (!end.ok()) {
-        return ErrStatus(end.error());
+      if (out->from_fixed.has_value() && out->to_fixed.has_value()) {
+        out->fixed = TimeRange{*out->from_fixed, *out->to_fixed};
       }
-      Advance();
-      *out = TimeRange{begin.value(), end.value()};
       return Status::Ok();
     }
     return ErrStatus("expected 'at' or 'from' in time window");
@@ -316,7 +347,7 @@ class Parser {
       if (auto cmp = CmpFromToken(Peek().type); cmp.has_value()) {
         Advance();
         Advance();
-        if (Cur().type != TokenType::kString && Cur().type != TokenType::kNumber) {
+        if (!IsValueToken(Cur())) {
           return ErrStatus("expected a value after comparison operator");
         }
         *out = PredExpr::Leaf(MakeLeaf(std::move(attr), *cmp, {TokenValue(Cur())}));
@@ -337,7 +368,7 @@ class Parser {
         }
         std::vector<Value> values;
         do {
-          if (Cur().type != TokenType::kString && Cur().type != TokenType::kNumber) {
+          if (!IsValueToken(Cur())) {
             return ErrStatus("expected a value in IN list");
           }
           values.push_back(TokenValue(Cur()));
@@ -357,7 +388,7 @@ class Parser {
       return ErrStatus("expected a comparison or IN after attribute '" + attr + "'");
     }
     // Bare value => default attribute (inference fills the attr name).
-    if (Cur().type == TokenType::kString || Cur().type == TokenType::kNumber) {
+    if (IsValueToken(Cur())) {
       *out = PredExpr::Leaf(MakeLeaf("", CmpOp::kEq, {TokenValue(Cur())}));
       Advance();
       return Status::Ok();
@@ -568,8 +599,8 @@ class Parser {
     if (Cur().type == TokenType::kLParen && Peek().type == TokenType::kIdent &&
         (EqualsIgnoreCase(Peek().text, "at") || EqualsIgnoreCase(Peek().text, "from"))) {
       Advance();
-      TimeRange range;
-      s = ParseTimeWindow(&range);
+      ast::TimeWindowSpec spec;
+      s = ParseTimeWindow(&spec);
       if (!s.ok()) {
         return s;
       }
@@ -577,7 +608,7 @@ class Parser {
       if (!s.ok()) {
         return s;
       }
-      out->time_window = range;
+      out->time_window = std::move(spec);
     }
     return Status::Ok();
   }
@@ -688,6 +719,11 @@ class Parser {
     }
     if (Cur().type == TokenType::kString) {
       *out = Expr::String(Cur().text);
+      Advance();
+      return Status::Ok();
+    }
+    if (Cur().type == TokenType::kParam) {
+      *out = Expr::Param(Cur().text, Cur().line);
       Advance();
       return Status::Ok();
     }

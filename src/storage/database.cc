@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/storage/plan_cache.h"
 #include "src/util/string_utils.h"
 #include "src/util/thread_pool.h"
 
@@ -312,19 +313,15 @@ std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* sta
   return ExecuteQueryParallel(q, stats, nullptr);
 }
 
-std::vector<EventView> Database::ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
-                                                      ThreadPool* pool) const {
+std::vector<EventView> Database::ScanWithPlan(const ScanPlan& plan, ScanStats* stats,
+                                              ThreadPool* pool) const {
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
-  std::optional<ScanPlan> plan = PlanQuery(q, st);
-  if (!plan.has_value()) {
-    return {};
-  }
-  const size_t n = plan->survivors.size();
+  const size_t n = plan.survivors.size();
   if (pool == nullptr || n < 2) {
     std::vector<EventView> out;
     for (size_t i = 0; i < n; ++i) {
-      ScanPlannedPartition(*plan, i, &out, st);
+      ScanPlannedPartition(plan, i, &out, st);
     }
     SortByTimeThenId(&out);
     return out;
@@ -338,10 +335,58 @@ std::vector<EventView> Database::ExecuteQueryParallel(const DataQuery& q, ScanSt
   std::vector<std::vector<EventView>> slots(n);
   std::vector<ScanStats> worker_stats(pool->max_participants());
   pool->RunBulk(n, [&](size_t worker, size_t i) {
-    ScanPlannedPartition(*plan, i, &slots[i], &worker_stats[worker]);
+    ScanPlannedPartition(plan, i, &slots[i], &worker_stats[worker]);
   });
   st->parallel_morsels += n;
   return MergeMorselResults(&slots, worker_stats, st);
+}
+
+std::vector<EventView> Database::ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
+                                                      ThreadPool* pool) const {
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+  std::optional<ScanPlan> plan = PlanQuery(q, st);
+  if (!plan.has_value()) {
+    return {};
+  }
+  return ScanWithPlan(*plan, st, pool);
+}
+
+std::vector<EventView> Database::ExecuteQueryCached(const DataQuery& q, ScanStats* stats,
+                                                    ThreadPool* pool, ScanPlanCache* cache,
+                                                    uint64_t* cache_hits) const {
+  if (cache == nullptr) {
+    return ExecuteQueryParallel(q, stats, pool);
+  }
+  std::string key = DataQueryFingerprint(q);
+  if (key.empty()) {
+    return ExecuteQueryParallel(q, stats, pool);  // too large to cache
+  }
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+
+  std::shared_ptr<const ScanPlanCache::Entry> entry = cache->Find(key);
+  if (entry == nullptr) {
+    // Plan against an owned copy of the query so the published ScanPlan's
+    // back-pointer stays valid for the cache entry's lifetime.
+    auto fresh = std::make_shared<ScanPlanCache::Entry>();
+    fresh->query = q;
+    std::optional<ScanPlan> plan = PlanQuery(fresh->query, &fresh->planning_stats);
+    if (plan.has_value()) {
+      fresh->plan = std::make_unique<const ScanPlan>(std::move(*plan));
+    }
+    entry = cache->Insert(std::move(key), std::move(fresh));
+  } else if (cache_hits != nullptr) {
+    ++*cache_hits;
+  }
+  // Replaying the recorded planning counters keeps cached executions
+  // stat-identical to fresh ones (hit or miss — on a miss they were accrued
+  // into the entry above, not into *st).
+  *st += entry->planning_stats;
+  if (entry->plan == nullptr) {
+    return {};
+  }
+  return ScanWithPlan(*entry->plan, st, pool);
 }
 
 void Database::ForEachEvent(const std::function<void(const Event&)>& fn) const {

@@ -140,6 +140,23 @@ class Database : public EventStore {
                                               ThreadPool* pool) const override;
   bool SupportsParallelScan() const override { return true; }
 
+  // Plan-cached execution: looks `q` up in `cache` by constraint fingerprint
+  // and skips PlanQuery on a hit (incrementing *cache_hits); a miss plans,
+  // publishes the compiled plan, then scans. Results and aggregate ScanStats
+  // are identical to ExecuteQueryParallel — the planning-phase counters are
+  // recorded in the cache entry and replayed on hits. Cached plans pin
+  // partitions of the current finalization; re-finalizing the database
+  // invalidates the cache (same lifetime rule as returned EventViews).
+  std::vector<EventView> ExecuteQueryCached(const DataQuery& q, ScanStats* stats,
+                                            ThreadPool* pool, ScanPlanCache* cache,
+                                            uint64_t* cache_hits) const override;
+
+  // The scan phase of an already-computed plan: serial when `pool` is null or
+  // fewer than two partitions survived, morsel-parallel otherwise. Shared by
+  // ExecuteQueryParallel and the plan-cache hit path.
+  std::vector<EventView> ScanWithPlan(const ScanPlan& plan, ScanStats* stats,
+                                      ThreadPool* pool) const;
+
   // The two scan phases, exposed so MppCluster can pool morsels from every
   // segment into one work queue. PlanQuery returns nullopt when the query
   // provably matches nothing before any partition is considered (op-mask

@@ -24,6 +24,7 @@
 namespace aiql {
 
 class ThreadPool;
+class ScanPlanCache;
 
 class EventStore {
  public:
@@ -54,6 +55,21 @@ class EventStore {
   // then hands its pool straight to the store instead of splitting queries
   // itself.
   virtual bool SupportsParallelScan() const { return false; }
+
+  // Executes a data query, consulting `cache` for a previously compiled scan
+  // plan when the store supports plan reuse. Results and aggregate ScanStats
+  // are identical to ExecuteQuery/ExecuteQueryParallel; on a cache hit
+  // `*cache_hits` is incremented and the planning phase is skipped. Stores
+  // without plan support (the default) ignore the cache and fall through to
+  // the plain scan entry points.
+  virtual std::vector<EventView> ExecuteQueryCached(const DataQuery& query, ScanStats* stats,
+                                                    ThreadPool* pool, ScanPlanCache* cache,
+                                                    uint64_t* cache_hits) const {
+    (void)cache;
+    (void)cache_hits;
+    return pool != nullptr ? ExecuteQueryParallel(query, stats, pool)
+                           : ExecuteQuery(query, stats);
+  }
 
   virtual TimeRange data_time_range() const = 0;
 

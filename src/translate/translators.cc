@@ -109,6 +109,10 @@ std::string ExprToSql(const Expr& e) {
       return Expr(e).ToString();
     case Expr::Kind::kString:
       return "'" + e.str + "'";
+    case Expr::Kind::kParam:
+      // Translators only see resolved contexts, which carry no unbound
+      // parameters; render SQL's positional-placeholder spelling regardless.
+      return ":" + e.name;
     case Expr::Kind::kVarRef: {
       if (e.resolved.has_value() && e.resolved->side != RefSide::kAlias) {
         return SideAlias(e.resolved->side, e.resolved->pattern) + "." + e.resolved->attr;

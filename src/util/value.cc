@@ -7,12 +7,21 @@
 
 namespace aiql {
 
+Value Value::Param(std::string name, int line) {
+  Value v;
+  v.v_ = ParamRef{std::move(name), line};
+  return v;
+}
+
 int64_t Value::as_int() const {
   if (is_int()) {
     return std::get<int64_t>(v_);
   }
   if (is_double()) {
     return static_cast<int64_t>(std::get<double>(v_));
+  }
+  if (is_param()) {
+    return 0;
   }
   const std::string& s = std::get<std::string>(v_);
   int64_t out = 0;
@@ -26,6 +35,9 @@ double Value::as_double() const {
   }
   if (is_int()) {
     return static_cast<double>(std::get<int64_t>(v_));
+  }
+  if (is_param()) {
+    return 0.0;
   }
   const std::string& s = std::get<std::string>(v_);
   char* end = nullptr;
@@ -48,6 +60,9 @@ std::string Value::ToString() const {
   if (is_int()) {
     return std::to_string(std::get<int64_t>(v_));
   }
+  if (is_param()) {
+    return "$" + param().name;
+  }
   double d = std::get<double>(v_);
   if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
     // Render integral doubles without trailing zeros for stable golden output.
@@ -59,6 +74,9 @@ std::string Value::ToString() const {
 }
 
 bool Value::operator==(const Value& other) const {
+  if (is_param() || other.is_param()) {
+    return is_param() && other.is_param() && param().name == other.param().name;
+  }
   if (is_string() && other.is_string()) {
     return as_string() == other.as_string();
   }
@@ -72,6 +90,13 @@ bool Value::operator==(const Value& other) const {
 }
 
 bool Value::operator<(const Value& other) const {
+  // Param placeholders sort after everything else, by name among themselves.
+  if (is_param() || other.is_param()) {
+    if (is_param() && other.is_param()) {
+      return param().name < other.param().name;
+    }
+    return other.is_param();
+  }
   if (is_string() && other.is_string()) {
     return as_string() < other.as_string();
   }
@@ -92,6 +117,9 @@ bool Value::operator<(const Value& other) const {
 }
 
 size_t Value::Hash() const {
+  if (is_param()) {
+    return std::hash<std::string>{}(param().name) ^ 0x9e3779b97f4a7c15ull;
+  }
   if (is_string()) {
     return std::hash<std::string>{}(as_string());
   }

@@ -14,6 +14,16 @@
 
 namespace aiql {
 
+// A named query-parameter occurrence ($name) recorded by the parser. Exists
+// only between parsing and PreparedQuery::Bind — binding replaces it with a
+// concrete value, and the inference pass rejects any leftover occurrence, so
+// execution never evaluates one. `line` is the source position of the `$`
+// token, carried for bind-time diagnostics.
+struct ParamRef {
+  std::string name;
+  int line = 0;
+};
+
 class Value {
  public:
   Value() : v_(int64_t{0}) {}
@@ -23,10 +33,15 @@ class Value {
   explicit Value(std::string v) : v_(std::move(v)) {}
   explicit Value(const char* v) : v_(std::string(v)) {}
 
+  // Placeholder for an unbound $name parameter.
+  static Value Param(std::string name, int line);
+
   bool is_int() const { return std::holds_alternative<int64_t>(v_); }
   bool is_double() const { return std::holds_alternative<double>(v_); }
   bool is_string() const { return std::holds_alternative<std::string>(v_); }
   bool is_numeric() const { return is_int() || is_double(); }
+  bool is_param() const { return std::holds_alternative<ParamRef>(v_); }
+  const ParamRef& param() const { return std::get<ParamRef>(v_); }
 
   int64_t as_int() const;
   double as_double() const;
@@ -49,7 +64,7 @@ class Value {
   size_t Hash() const;
 
  private:
-  std::variant<int64_t, double, std::string> v_;
+  std::variant<int64_t, double, std::string, ParamRef> v_;
 };
 
 struct ValueHash {

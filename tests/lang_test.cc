@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/lang/lexer.h"
+#include "src/lang/params.h"
 #include "src/lang/parser.h"
 #include "src/lang/query_context.h"
 
@@ -79,7 +80,7 @@ TEST(ParserTest, PaperQuery1Cve) {
   EXPECT_EQ(q.multievent.attr_rels.size(), 1u);
   EXPECT_EQ(q.multievent.temp_rels.size(), 2u);
   EXPECT_EQ(q.multievent.ret.items.size(), 4u);
-  EXPECT_TRUE(q.global.time_window.has_value());
+  EXPECT_TRUE(q.global.LiteralTimeWindow().has_value());
 }
 
 TEST(ParserTest, PaperQuery2CommandHistory) {
@@ -185,8 +186,8 @@ TEST(ParserTest, FromToWindow) {
       (from "01/01/2017" to "01/03/2017")
       proc p read file f return p)");
   ASSERT_TRUE(r.ok()) << r.error();
-  EXPECT_EQ(r.value().global.time_window->begin, MakeTimestamp(2017, 1, 1));
-  EXPECT_EQ(r.value().global.time_window->end, MakeTimestamp(2017, 1, 3));
+  EXPECT_EQ(r.value().global.LiteralTimeWindow()->begin, MakeTimestamp(2017, 1, 1));
+  EXPECT_EQ(r.value().global.LiteralTimeWindow()->end, MakeTimestamp(2017, 1, 3));
 }
 
 TEST(ParserTest, TopAndHavingFilters) {
@@ -408,6 +409,142 @@ TEST(DependencyRewriteTest, WrongDirectionSubjectRejected) {
       return p1)");
   ASSERT_TRUE(parsed.ok()) << parsed.error();
   EXPECT_FALSE(RewriteDependency(parsed.value().dependency).ok());
+}
+
+// --- $parameters: lexing, collection, and diagnostics ---
+
+TEST(LexerTest, ParamTokens) {
+  auto r = Tokenize("agentid = $agent (at $tw)");
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_GE(r.value().size(), 6u);
+  EXPECT_EQ(r.value()[2].type, TokenType::kParam);
+  EXPECT_EQ(r.value()[2].text, "agent");
+  EXPECT_EQ(r.value()[5].type, TokenType::kParam);
+  EXPECT_EQ(r.value()[5].text, "tw");
+}
+
+TEST(LexerTest, BareDollarFails) {
+  auto r = Tokenize("agentid = $ 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("parameter name after '$'"), std::string::npos);
+}
+
+constexpr const char* kParamQuery = R"(
+    agentid = $agent (from $t0 to $t1)
+    proc p1[$exe] write file f1 as evt1[amount > $thr]
+    return p1, f1)";
+
+TEST(ParamTest, CollectParamsTypesAndOrder) {
+  auto parsed = ParseQuery(kParamQuery);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  std::vector<ParamInfo> params = CollectParams(parsed.value());
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(params[0].name, "agent");
+  EXPECT_EQ(params[0].type, ParamType::kValue);
+  EXPECT_EQ(params[1].name, "t0");
+  EXPECT_EQ(params[1].type, ParamType::kTimestamp);
+  EXPECT_EQ(params[2].name, "t1");
+  EXPECT_EQ(params[2].type, ParamType::kTimestamp);
+  EXPECT_EQ(params[3].name, "exe");
+  EXPECT_EQ(params[4].name, "thr");
+  EXPECT_EQ(params[3].line, 3);  // position carried for diagnostics
+}
+
+TEST(ParamTest, UnboundParameterRejectedAtResolution) {
+  // Executing parameterized text without binding is the "unbound parameter
+  // at run time" diagnostic, with the parameter's source line.
+  auto ctx = CompileQuery(kParamQuery);
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_NE(ctx.error().find("unbound parameter $agent"), std::string::npos);
+  EXPECT_NE(ctx.error().find("line 2"), std::string::npos);
+}
+
+TEST(ParamTest, BindSubstitutesAndPromotesLike) {
+  auto parsed = ParseQuery(kParamQuery);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ast::Query q = parsed.value();
+  Status s = BindParams(&q, ParamSet()
+                                .Set("agent", 1)
+                                .Set("t0", "01/01/2017")
+                                .Set("t1", "01/02/2017")
+                                .Set("exe", "%osql%")
+                                .Set("thr", 1000));
+  ASSERT_TRUE(s.ok()) << s.message();
+  // '=' against a bound wildcard string means LIKE, as with literals.
+  const PredExpr& subject = q.multievent.patterns[0].subject.constraint;
+  ASSERT_EQ(subject.kind(), PredExpr::Kind::kLeaf);
+  EXPECT_EQ(subject.leaf().op, CmpOp::kLike);
+  EXPECT_EQ(subject.leaf().values[0].as_string(), "%osql%");
+  // The bound query now resolves like a literal one.
+  auto ctx = ResolveQuery(q);
+  ASSERT_TRUE(ctx.ok()) << ctx.error();
+  EXPECT_EQ(ctx.value().global_time.begin, MakeTimestamp(2017, 1, 1));
+  ASSERT_TRUE(ctx.value().global_agents.has_value());
+  EXPECT_EQ(ctx.value().global_agents->at(0), 1u);
+}
+
+TEST(ParamTest, UnboundAtBindCarriesPosition) {
+  auto parsed = ParseQuery(kParamQuery);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ast::Query q = parsed.value();
+  Status s = BindParams(&q, ParamSet().Set("agent", 1));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unbound parameter $"), std::string::npos);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(ParamTest, UnknownParameterListsDeclared) {
+  auto parsed = ParseQuery("proc p1[$exe] read file f1 return p1");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ast::Query q = parsed.value();
+  Status s = BindParams(&q, ParamSet().Set("exe", "x").Set("oops", 3));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown parameter $oops"), std::string::npos);
+  EXPECT_NE(s.message().find("$exe"), std::string::npos);
+}
+
+TEST(ParamTest, TimestampTypeMismatchCarriesPosition) {
+  auto parsed = ParseQuery("(at $tw)\nproc p1 read file f1 return p1");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  {
+    // Non-string value for a time-window endpoint.
+    ast::Query q = parsed.value();
+    Status s = BindParams(&q, ParamSet().Set("tw", 42));
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("line 1"), std::string::npos);
+    EXPECT_NE(s.message().find("expects a datetime string"), std::string::npos);
+  }
+  {
+    // String that is not a datetime.
+    ast::Query q = parsed.value();
+    Status s = BindParams(&q, ParamSet().Set("tw", "not-a-date"));
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("parameter $tw"), std::string::npos);
+    EXPECT_NE(s.message().find("line 1"), std::string::npos);
+  }
+}
+
+TEST(ParamTest, ParamsInHavingAndInLists) {
+  auto parsed = ParseQuery(R"(
+      proc p1 read file f1
+      return p1, count(f1) as n
+      group by p1
+      having n > $min)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ast::Query q = parsed.value();
+  ASSERT_EQ(CollectParams(q).size(), 1u);
+  Status s = BindParams(&q, ParamSet().Set("min", 2));
+  ASSERT_TRUE(s.ok()) << s.message();
+  auto in_list = ParseQuery("agentid in ($a, $b)\nproc p1 read file f1 return p1");
+  ASSERT_TRUE(in_list.ok()) << in_list.error();
+  ast::Query q2 = in_list.value();
+  ASSERT_EQ(CollectParams(q2).size(), 2u);
+  s = BindParams(&q2, ParamSet().Set("a", 1).Set("b", 2));
+  ASSERT_TRUE(s.ok()) << s.message();
+  auto ctx = ResolveQuery(q2);
+  ASSERT_TRUE(ctx.ok()) << ctx.error();
+  ASSERT_TRUE(ctx.value().global_agents.has_value());
+  EXPECT_EQ(ctx.value().global_agents->size(), 2u);
 }
 
 }  // namespace
