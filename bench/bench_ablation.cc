@@ -26,29 +26,59 @@ double TotalMs(AiqlEngine& engine, const std::vector<QuerySpec>& queries) {
 
 int main() {
   double scale = ScaleFromEnv();
+  // AIQL_MORSEL_ROWS overrides the parallel-scan work-unit size everywhere
+  // (0 = whole-partition work units, the pre-morsel scheduler).
+  DatabaseOptions tuned;
+  tuned.morsel_rows = MorselRowsFromEnv(tuned.morsel_rows);
   std::printf("=== Ablation: AIQL optimizations (26 case-study queries) ===\n");
-  World world = BuildWorld(scale, /*with_baseline=*/false);
+  World world = BuildWorld(scale, /*with_baseline=*/false, tuned);
   std::vector<QuerySpec> queries = world.workload->CaseStudyQueries();
-  std::printf("events: %zu\n\n", world.optimized->num_events());
+  std::printf("events: %zu  morsel_rows: %u\n\n", world.optimized->num_events(),
+              tuned.morsel_rows);
 
-  // Alternative storage layouts over the identical event stream.
-  Database no_partitions{DatabaseOptions{.scheme = PartitionScheme::kNone}};
+  // Alternative storage layouts over the identical event stream. Every
+  // config inherits `tuned` (the AIQL_MORSEL_ROWS override) and ablates one
+  // knob, so the rows differ in exactly one dimension.
+  DatabaseOptions no_part_opts = tuned;
+  no_part_opts.scheme = PartitionScheme::kNone;
+  Database no_partitions{no_part_opts};
   {
     Workload w(world.config, &no_partitions);
     w.Build();
     no_partitions.Finalize();
   }
-  Database no_indexes{DatabaseOptions{.build_indexes = false}};
+  DatabaseOptions no_index_opts = tuned;
+  no_index_opts.build_indexes = false;
+  Database no_indexes{no_index_opts};
   {
     Workload w(world.config, &no_indexes);
     w.Build();
     no_indexes.Finalize();
   }
-  Database row_store{DatabaseOptions{.layout = StorageLayout::kRowStore}};
+  DatabaseOptions row_store_opts = tuned;
+  row_store_opts.layout = StorageLayout::kRowStore;
+  Database row_store{row_store_opts};
   {
     Workload w(world.config, &row_store);
     w.Build();
     row_store.Finalize();
+  }
+  DatabaseOptions whole_opts = tuned;
+  whole_opts.morsel_rows = 0;
+  Database whole_partition_morsels{whole_opts};
+  {
+    Workload w(world.config, &whole_partition_morsels);
+    w.Build();
+    whole_partition_morsels.Finalize();
+  }
+  DatabaseOptions no_entity_opts = tuned;
+  no_entity_opts.entity_pruning = false;
+  no_entity_opts.entity_bitmaps = false;
+  Database no_entity_scan{no_entity_opts};
+  {
+    Workload w(world.config, &no_entity_scan);
+    w.Build();
+    no_entity_scan.Finalize();
   }
 
   struct Config {
@@ -75,6 +105,10 @@ int main() {
       {"no storage partitioning", &no_partitions, {.time_budget_ms = budget}},
       {"no secondary indexes", &no_indexes, {.time_budget_ms = budget}},
       {"row-store scan path (no columnar vectorization)", &row_store,
+       {.time_budget_ms = budget}},
+      {"whole-partition work units (no row morsels)", &whole_partition_morsels,
+       {.time_budget_ms = budget}},
+      {"no entity zone pruning / bitmap kernels", &no_entity_scan,
        {.time_budget_ms = budget}},
   };
 

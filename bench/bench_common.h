@@ -47,6 +47,23 @@ inline ScenarioConfig DefaultScenario(double scale) {
   return config;
 }
 
+// Parallel-scan work-unit override: AIQL_MORSEL_ROWS rows per morsel
+// (0 = whole-partition work units). Absent or malformed -> the
+// DatabaseOptions default; 0 is meaningful, so garbage must not parse as 0.
+inline uint32_t MorselRowsFromEnv(uint32_t fallback) {
+  const char* s = std::getenv("AIQL_MORSEL_ROWS");
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0 || v > UINT32_MAX) {
+    std::fprintf(stderr, "ignoring malformed AIQL_MORSEL_ROWS=%s\n", s);
+    return fallback;
+  }
+  return static_cast<uint32_t>(v);
+}
+
 struct World {
   ScenarioConfig config;
   std::unique_ptr<Database> optimized;  // time/space partitions + indexes
@@ -55,10 +72,11 @@ struct World {
 };
 
 // Builds the workload into both storage layouts (identical event streams).
-inline World BuildWorld(double scale, bool with_baseline) {
+inline World BuildWorld(double scale, bool with_baseline,
+                        DatabaseOptions optimized_options = {}) {
   World w;
   w.config = DefaultScenario(scale);
-  w.optimized = std::make_unique<Database>();
+  w.optimized = std::make_unique<Database>(optimized_options);
   w.workload = std::make_unique<Workload>(w.config, w.optimized.get());
   w.workload->Build();
   w.optimized->Finalize();

@@ -150,6 +150,140 @@ void BM_FullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FullScan)->Args({0, 1})->Args({0, 2})->Args({0, 4})->Args({1, 1})->Args({1, 4});
 
+// A selective pushed-down entity candidate set over a large entity pool: the
+// dominant query shape of iterative attack investigation (Algorithm 1 hands
+// each pattern the candidate sets of already-executed patterns). The set is
+// far above the posting-candidate limit, so the scan takes the vectorized
+// membership-probe path over every row in the time slice.
+Database* BuildCandidateProbeDb(StorageLayout layout) {
+  auto* d = new Database(DatabaseOptions{.layout = layout});
+  Rng rng(23);
+  std::vector<uint32_t> procs, files;
+  for (int i = 0; i < 64; ++i) {
+    procs.push_back(
+        d->catalog().InternProcess(1 + i % 8, 2000 + i, "/bin/q" + std::to_string(i)));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    files.push_back(d->catalog().InternFile(1 + i % 8, "/big/f" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200000; ++i) {
+    uint32_t subj = procs[rng.Below(procs.size())];
+    AgentId agent = d->catalog().AgentOf(EntityType::kProcess, subj);
+    uint32_t obj;
+    do {
+      obj = files[rng.Below(files.size())];
+    } while (d->catalog().AgentOf(EntityType::kFile, obj) != agent);
+    d->RecordEvent(agent, subj, Operation::kRead, EntityType::kFile, obj,
+                   rng.Below(3 * kDayMs), rng.Below(10000));
+  }
+  d->Finalize();
+  return d;
+}
+
+void BM_EntityCandidateScan(benchmark::State& state) {
+  static Database* columnar = BuildCandidateProbeDb(StorageLayout::kColumnar);
+  static Database* rowstore = BuildCandidateProbeDb(StorageLayout::kRowStore);
+  Database* db = state.range(0) == 0 ? columnar : rowstore;
+  // Every 4th file is a candidate: 5000 candidates, ~25% row selectivity —
+  // too many for posting-list union, so every scanned row probes the set.
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  std::vector<uint32_t> candidates;
+  for (uint32_t i = 0; i < 20000; i += 4) {
+    candidates.push_back(i);
+  }
+  q.object_candidates = std::move(candidates);
+  ScanStats stats;
+  for (auto _ : state) {
+    ScanStats s;
+    benchmark::DoNotOptimize(db->ExecuteQuery(q, &s));
+    stats = s;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stats.events_scanned + stats.events_skipped));
+  state.counters["matched"] = static_cast<double>(stats.events_matched);
+  state.counters["bitmap_probes"] = static_cast<double>(stats.bitmap_probes);
+  state.SetLabel(std::string(StorageLayoutName(db->options().layout)) + "/p1");
+}
+BENCHMARK(BM_EntityCandidateScan)->Arg(0)->Arg(1);
+
+// Skewed partition sizes under the parallel scan: one (day, agent-group)
+// partition holds ~85% of the events, so whole-partition work units (arg 1 ==
+// 0: morsel_rows disabled) serialize on the giant partition no matter how
+// many workers participate, while row-range morsels (arg 1 > 0) split it and
+// load-balance. `largest_morsel` is the critical-path lower bound in rows —
+// the hardware-independent evidence of the balance win.
+void BM_SkewedParallelScan(benchmark::State& state) {
+  auto build = [](uint32_t morsel_rows) {
+    auto* d = new Database(DatabaseOptions{.morsel_rows = morsel_rows});
+    Rng rng(31);
+    std::vector<uint32_t> procs, files;
+    for (int i = 0; i < 16; ++i) {
+      procs.push_back(
+          d->catalog().InternProcess(1 + i % 8, 3000 + i, "/bin/s" + std::to_string(i)));
+    }
+    for (int i = 0; i < 256; ++i) {
+      files.push_back(d->catalog().InternFile(1 + i % 8, "/skew/f" + std::to_string(i)));
+    }
+    for (int i = 0; i < 200000; ++i) {
+      // 85% of events land on agent 1 inside day 0: one giant partition.
+      bool hot = rng.Chance(0.85);
+      uint32_t subj;
+      do {
+        subj = procs[rng.Below(procs.size())];
+      } while ((d->catalog().AgentOf(EntityType::kProcess, subj) == 1) != hot);
+      AgentId agent = d->catalog().AgentOf(EntityType::kProcess, subj);
+      uint32_t obj;
+      do {
+        obj = files[rng.Below(files.size())];
+      } while (d->catalog().AgentOf(EntityType::kFile, obj) != agent);
+      TimestampMs t = hot ? rng.Below(kDayMs) : rng.Below(3 * kDayMs);
+      d->RecordEvent(agent, subj, Operation::kRead, EntityType::kFile, obj, t, rng.Below(10000));
+    }
+    d->Finalize();
+    return d;
+  };
+  static Database* whole = build(0);
+  static Database* morsel = build(16384);
+  Database* db = state.range(1) == 0 ? whole : morsel;
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  static std::unordered_map<size_t, ThreadPool*> pools;
+  auto [it, inserted] = pools.try_emplace(parallelism, nullptr);
+  if (inserted) {
+    it->second = new ThreadPool(parallelism - 1);
+  }
+  ThreadPool* pool = it->second;
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  AttrPredicate pred;
+  pred.attr = "amount";
+  pred.op = CmpOp::kGe;
+  pred.values = {Value(int64_t{5000})};
+  q.event_pred = PredExpr::Leaf(pred);
+  ScanStats stats;
+  for (auto _ : state) {
+    ScanStats s;
+    benchmark::DoNotOptimize(db->ExecuteQueryParallel(q, &s, pool));
+    stats = s;
+  }
+  // Critical path in rows: the largest single work-queue entry.
+  ScanStats plan_stats;
+  auto plan = db->PlanQuery(q, &plan_stats);
+  uint64_t largest = 0;
+  for (const ScanMorsel& m : BuildScanMorsels(*plan, db->options().morsel_rows)) {
+    const Partition* p = plan->survivors[m.survivor];
+    auto [lo, hi] = p->SliceRows(q.EffectiveTime());
+    uint64_t rows = std::min<uint64_t>(m.end_row, hi) - std::max<uint64_t>(m.begin_row, lo);
+    largest = std::max(largest, rows);
+  }
+  state.counters["largest_morsel"] = static_cast<double>(largest);
+  state.counters["morsels"] = static_cast<double>(stats.parallel_morsels);
+  state.counters["matched"] = static_cast<double>(stats.events_matched);
+  state.SetLabel(std::string(state.range(1) == 0 ? "whole-partition" : "row-morsels") + "/p" +
+                 std::to_string(parallelism));
+}
+BENCHMARK(BM_SkewedParallelScan)->Args({4, 0})->Args({4, 1});
+
 void BM_PostingListFetch(benchmark::State& state) {
   Database* db = SharedDb();
   DataQuery q;

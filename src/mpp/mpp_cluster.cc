@@ -88,11 +88,12 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
 
   // Plan every segment serially (cheap: zone-map arithmetic; the shared
   // catalog makes entity resolution identical per segment), then flatten all
-  // surviving partitions into one morsel queue.
+  // surviving partitions — large ones decomposed into row-range morsels by
+  // each segment's morsel_rows option — into one pooled work queue.
   struct Morsel {
     const ScanPlan* plan;
     const Database* segment;
-    size_t index;  // into plan->survivors
+    ScanMorsel m;
   };
   std::vector<std::optional<ScanPlan>> plans(segments_.size());
   std::vector<Morsel> morsels;
@@ -101,8 +102,9 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
     if (!plans[s].has_value()) {
       continue;
     }
-    for (size_t i = 0; i < plans[s]->survivors.size(); ++i) {
-      morsels.push_back(Morsel{&*plans[s], segments_[s].get(), i});
+    for (const ScanMorsel& m :
+         BuildScanMorsels(*plans[s], segments_[s]->options().morsel_rows)) {
+      morsels.push_back(Morsel{&*plans[s], segments_[s].get(), m});
     }
   }
 
@@ -111,7 +113,7 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
   if (morsels.size() < 2) {
     std::vector<EventView> out;
     for (const Morsel& m : morsels) {
-      m.segment->ScanPlannedPartition(*m.plan, m.index, &out, st);
+      m.segment->ScanPlannedMorsel(*m.plan, m.m, &out, st);
     }
     SortByTimeThenId(&out);
     return out;
@@ -120,8 +122,8 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
   std::vector<std::vector<EventView>> slots(morsels.size());
   std::vector<ScanStats> worker_stats(pool->max_participants());
   pool->RunBulk(morsels.size(), [&](size_t worker, size_t m) {
-    morsels[m].segment->ScanPlannedPartition(*morsels[m].plan, morsels[m].index, &slots[m],
-                                             &worker_stats[worker]);
+    morsels[m].segment->ScanPlannedMorsel(*morsels[m].plan, morsels[m].m, &slots[m],
+                                          &worker_stats[worker]);
   });
   st->parallel_morsels += morsels.size();
   return MergeMorselResults(&slots, worker_stats, st);
@@ -143,10 +145,13 @@ std::vector<EventView> MppCluster::ExecuteQuery(const DataQuery& query,
   }
   std::vector<EventView> out;
   out.reserve(total);
+  std::vector<size_t> run_starts;
+  run_starts.reserve(partials.size());
   for (const auto& p : partials) {
+    run_starts.push_back(out.size());
     out.insert(out.end(), p.begin(), p.end());
   }
-  SortByTimeThenId(&out);
+  MergeSortedRuns(&out, &run_starts);
   return out;
 }
 

@@ -68,7 +68,15 @@ struct ScanStats {
   uint64_t partitions_scanned = 0;
   uint64_t events_skipped = 0;     // events inside pruned partitions, never touched
   uint64_t index_lookups = 0;
-  uint64_t parallel_morsels = 0;   // partitions scanned via a morsel work queue
+  uint64_t parallel_morsels = 0;   // work-queue entries of a parallel scan
+                                   // (whole partitions or row-range chunks)
+  // Of partitions_pruned: skipped because a pushed-down subject/object
+  // candidate set cannot intersect the partition's entity zone summary
+  // (index range or bloom filter).
+  uint64_t partitions_pruned_entity = 0;
+  // Rows whose entity membership probe was a dense-bitmap bit test instead of
+  // a hash-set lookup (counted once per row per bitmap stage).
+  uint64_t bitmap_probes = 0;
 
   ScanStats& operator+=(const ScanStats& o) {
     events_scanned += o.events_scanned;
@@ -78,6 +86,8 @@ struct ScanStats {
     events_skipped += o.events_skipped;
     index_lookups += o.index_lookups;
     parallel_morsels += o.parallel_morsels;
+    partitions_pruned_entity += o.partitions_pruned_entity;
+    bitmap_probes += o.bitmap_probes;
     return *this;
   }
 };

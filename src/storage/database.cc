@@ -255,6 +255,19 @@ std::optional<ScanPlan> Database::PlanQuery(const DataQuery& q, ScanStats* stats
     plan.agent_set.emplace(q.agent_ids->begin(), q.agent_ids->end());
   }
 
+  // Candidate-set summaries for entity zone pruning, computed once per query
+  // (not per partition): index range plus bloom-probe eligibility.
+  std::optional<CandidateSummary> subjects;
+  std::optional<CandidateSummary> objects;
+  if (options_.entity_pruning) {
+    if (subject_set.has_value()) {
+      subjects = CandidateSummary::For(*subject_set);
+    }
+    if (object_set.has_value()) {
+      objects = CandidateSummary::For(*object_set);
+    }
+  }
+
   TimeRange range = q.EffectiveTime();
   for (const auto& [key, p] : partitions_) {
     if (options_.scheme == PartitionScheme::kTimeSpace) {
@@ -268,13 +281,34 @@ std::optional<ScanPlan> Database::PlanQuery(const DataQuery& q, ScanStats* stats
       }
     }
     // Zone-map pruning: skip the partition when no stored event can satisfy
-    // the operation mask, object type, agent set, or compiled column filters.
-    if (!p->CanMatch(range, q, compiled)) {
+    // the operation mask, object type, agent set, compiled column filters, or
+    // entity candidate summaries.
+    if (!p->CanMatch(range, q, compiled, plan.agent_set.has_value() ? &*plan.agent_set : nullptr,
+                     subjects.has_value() ? &*subjects : nullptr,
+                     objects.has_value() ? &*objects : nullptr, st)) {
       ++st->partitions_pruned;
       st->events_skipped += p->size();
       continue;
     }
     plan.survivors.push_back(p.get());
+  }
+
+  // Translate candidate sets into per-partition dense bitmaps for the
+  // survivors the vectorized scan will probe row-by-row (the posting-list
+  // access path unions tiny offset lists instead and skips the translation).
+  if (options_.entity_bitmaps &&
+      (plan.subject_set.has_value() || plan.object_set.has_value() ||
+       plan.agent_set.has_value())) {
+    plan.bitmaps.resize(plan.survivors.size());
+    const auto* subj = plan.subject_set.has_value() ? &*plan.subject_set : nullptr;
+    const auto* obj = plan.object_set.has_value() ? &*plan.object_set : nullptr;
+    const auto* agents = plan.agent_set.has_value() ? &*plan.agent_set : nullptr;
+    for (size_t i = 0; i < plan.survivors.size(); ++i) {
+      if (plan.survivors[i]->PrefersPostingScan(subj, obj)) {
+        continue;
+      }
+      plan.bitmaps[i] = plan.survivors[i]->TranslateCandidateBitmaps(subj, obj, agents);
+    }
   }
   return plan;
 }
@@ -282,11 +316,80 @@ std::optional<ScanPlan> Database::PlanQuery(const DataQuery& q, ScanStats* stats
 void Database::ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
                                     ScanStats* stats) const {
   ++stats->partitions_scanned;
-  plan.survivors[i]->Execute(
-      *plan.query, plan.compiled, *catalog_,
-      plan.subject_set.has_value() ? &*plan.subject_set : nullptr,
-      plan.object_set.has_value() ? &*plan.object_set : nullptr,
-      plan.agent_set.has_value() ? &*plan.agent_set : nullptr, out, stats);
+  plan.survivors[i]->Execute(plan.ArgsFor(i, *catalog_), out, stats);
+}
+
+void Database::ScanPlannedMorsel(const ScanPlan& plan, const ScanMorsel& m,
+                                 std::vector<EventView>* out, ScanStats* stats) const {
+  if (m.first) {
+    ++stats->partitions_scanned;
+  }
+  plan.survivors[m.survivor]->Execute(
+      plan.ArgsFor(m.survivor, *catalog_, m.begin_row, m.end_row), out, stats);
+}
+
+std::vector<ScanMorsel> BuildScanMorsels(const ScanPlan& plan, uint32_t morsel_rows) {
+  std::vector<ScanMorsel> morsels;
+  morsels.reserve(plan.survivors.size());
+  const auto* subj = plan.subject_set.has_value() ? &*plan.subject_set : nullptr;
+  const auto* obj = plan.object_set.has_value() ? &*plan.object_set : nullptr;
+  const TimeRange range = plan.query->EffectiveTime();
+  for (size_t i = 0; i < plan.survivors.size(); ++i) {
+    const Partition* p = plan.survivors[i];
+    auto whole = ScanMorsel{static_cast<uint32_t>(i), 0, UINT32_MAX, /*first=*/true};
+    if (morsel_rows == 0 || p->PrefersPostingScan(subj, obj)) {
+      morsels.push_back(whole);
+      continue;
+    }
+    auto [lo, hi] = p->SliceRows(range);
+    if (hi - lo <= morsel_rows) {
+      morsels.push_back(whole);  // empty slices included: they still account
+                                 // partitions_scanned, matching the serial path
+      continue;
+    }
+    for (uint32_t begin = lo; begin < hi; begin += morsel_rows) {
+      morsels.push_back(ScanMorsel{static_cast<uint32_t>(i), begin,
+                                   std::min(begin + morsel_rows, hi), begin == lo});
+    }
+  }
+  return morsels;
+}
+
+void MergeSortedRuns(std::vector<EventView>* events, std::vector<size_t>* run_starts) {
+  if (events->empty() || run_starts->size() <= 1) {
+    return;
+  }
+  // Coalesce: drop empty runs and boundaries that are already in order
+  // (run i's last element is its max, run i+1's first is its min).
+  std::vector<size_t> runs;
+  runs.reserve(run_starts->size());
+  runs.push_back(0);
+  for (size_t s : *run_starts) {
+    if (s == 0 || s >= events->size() || s == runs.back()) {
+      continue;
+    }
+    if (!EventViewTimeIdLess((*events)[s], (*events)[s - 1])) {
+      continue;
+    }
+    runs.push_back(s);
+  }
+  run_starts->clear();
+  // Balanced ladder: merge adjacent run pairs until one run remains. Each
+  // pass halves the run count, so every element moves O(log k) times.
+  while (runs.size() > 1) {
+    std::vector<size_t> next;
+    next.reserve((runs.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      size_t end = i + 2 < runs.size() ? runs[i + 2] : events->size();
+      std::inplace_merge(events->begin() + runs[i], events->begin() + runs[i + 1],
+                         events->begin() + end, EventViewTimeIdLess);
+      next.push_back(runs[i]);
+    }
+    if (runs.size() % 2 == 1) {
+      next.push_back(runs.back());
+    }
+    runs = std::move(next);
+  }
 }
 
 std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* slots,
@@ -298,14 +401,17 @@ std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* s
   }
   std::vector<EventView> out;
   out.reserve(total);
+  std::vector<size_t> run_starts;
+  run_starts.reserve(slots->size());
   for (const auto& s : *slots) {
+    run_starts.push_back(out.size());
     out.insert(out.end(), s.begin(), s.end());
   }
   slots->clear();
   for (const ScanStats& ws : worker_stats) {
     *stats += ws;
   }
-  SortByTimeThenId(&out);
+  MergeSortedRuns(&out, &run_starts);
   return out;
 }
 
@@ -318,26 +424,39 @@ std::vector<EventView> Database::ScanWithPlan(const ScanPlan& plan, ScanStats* s
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
   const size_t n = plan.survivors.size();
-  if (pool == nullptr || n < 2) {
+  auto scan_serial = [&] {
     std::vector<EventView> out;
+    std::vector<size_t> run_starts;
+    run_starts.reserve(n);
     for (size_t i = 0; i < n; ++i) {
+      run_starts.push_back(out.size());
       ScanPlannedPartition(plan, i, &out, st);
     }
-    SortByTimeThenId(&out);
+    MergeSortedRuns(&out, &run_starts);
     return out;
+  };
+  if (pool == nullptr || n == 0) {
+    return scan_serial();
   }
 
-  // Morsel loop: each surviving partition is one work-queue entry. Workers
-  // pull the next unscanned partition and write into that partition's result
-  // slot and their own ScanStats, so no scan state is shared; the merge walks
-  // the slots in partition order regardless of which worker filled them,
-  // keeping the output deterministic.
-  std::vector<std::vector<EventView>> slots(n);
+  // Morsel loop: each work-queue entry is a row range of one surviving
+  // partition — small partitions whole, large ones split into morsel_rows
+  // chunks so one skewed partition cannot serialize the scan (a single huge
+  // survivor still fans out). Workers pull the next unclaimed morsel and
+  // write into that morsel's result slot and their own ScanStats, so no scan
+  // state is shared; the merge walks the slots in (partition, row-range)
+  // order regardless of which worker filled them, keeping the output
+  // deterministic.
+  std::vector<ScanMorsel> morsels = BuildScanMorsels(plan, options_.morsel_rows);
+  if (morsels.size() < 2) {
+    return scan_serial();
+  }
+  std::vector<std::vector<EventView>> slots(morsels.size());
   std::vector<ScanStats> worker_stats(pool->max_participants());
-  pool->RunBulk(n, [&](size_t worker, size_t i) {
-    ScanPlannedPartition(plan, i, &slots[i], &worker_stats[worker]);
+  pool->RunBulk(morsels.size(), [&](size_t worker, size_t m) {
+    ScanPlannedMorsel(plan, morsels[m], &slots[m], &worker_stats[worker]);
   });
-  st->parallel_morsels += n;
+  st->parallel_morsels += morsels.size();
   return MergeMorselResults(&slots, worker_stats, st);
 }
 

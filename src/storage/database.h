@@ -60,12 +60,59 @@ struct ScanPlan {
   // (day, agent-group) order. This order is the deterministic merge order of
   // the parallel scan.
   std::vector<const Partition*> survivors;
+  // Per-survivor dense-bitmap translations of the candidate sets (parallel
+  // to `survivors`; null = no affordable bitmap). Built once at plan time and
+  // shared read-only by every morsel that scans the partition.
+  std::vector<std::unique_ptr<EntityBitmaps>> bitmaps;
+
+  // The scan arguments for survivor `i`, clamped to [begin_row, end_row).
+  PartitionScanArgs ArgsFor(size_t i, const EntityCatalog& catalog, uint32_t begin_row = 0,
+                            uint32_t end_row = UINT32_MAX) const {
+    PartitionScanArgs a;
+    a.query = query;
+    a.pred = &compiled;
+    a.catalog = &catalog;
+    a.subject_set = subject_set.has_value() ? &*subject_set : nullptr;
+    a.object_set = object_set.has_value() ? &*object_set : nullptr;
+    a.agent_set = agent_set.has_value() ? &*agent_set : nullptr;
+    a.bitmaps = i < bitmaps.size() ? bitmaps[i].get() : nullptr;
+    a.begin_row = begin_row;
+    a.end_row = end_row;
+    return a;
+  }
 };
+
+// One entry of a parallel scan's work queue: a row range of one surviving
+// partition. Large partitions decompose into several fixed-size morsels so
+// skewed (day, agent-group) distributions load-balance; small ones stay
+// whole.
+struct ScanMorsel {
+  uint32_t survivor = 0;   // index into ScanPlan::survivors
+  uint32_t begin_row = 0;  // row clamp within the partition
+  uint32_t end_row = UINT32_MAX;
+  bool first = false;  // first morsel of its partition: owns partitions_scanned
+};
+
+// Decomposes a plan's survivors into row-range morsels of at most
+// `morsel_rows` rows each (0 = one whole-partition morsel per survivor).
+// Partitions whose scan would take the posting-list access path are never
+// split. Morsels are ordered by (survivor, begin_row), so scanning slots in
+// list order and concatenating preserves each partition's time order.
+std::vector<ScanMorsel> BuildScanMorsels(const ScanPlan& plan, uint32_t morsel_rows);
+
+// Restores the global (start_time, id) order of `events`, whose slices
+// starting at `run_starts[i]` (ascending, first element 0; last run ends at
+// events->size()) are each already sorted — the shape every partition or
+// morsel scan emits. Adjacent runs already in order coalesce with a single
+// boundary comparison, so non-overlapping partitions (a purely time-ordered
+// scan) cost one pass; overlapping runs pay O(n log k) ladder merges instead
+// of the O(n log n) full sort. Consumes `run_starts`.
+void MergeSortedRuns(std::vector<EventView>* events, std::vector<size_t>* run_starts);
 
 // The shared epilogue of a morsel-driven scan (Database and MppCluster):
 // concatenates per-morsel result slots in slot order (never completion
-// order), folds the per-worker stats into `stats`, and applies the final
-// (start_time, id) sort. Consumes `slots`.
+// order), folds the per-worker stats into `stats`, and restores the
+// (start_time, id) order by merging the slots' sorted runs. Consumes `slots`.
 std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* slots,
                                           const std::vector<ScanStats>& worker_stats,
                                           ScanStats* stats);
@@ -77,6 +124,16 @@ struct DatabaseOptions {
   // Partition storage layout: columnar (zone maps + vectorized scans, the
   // AIQL configuration) or the row-store baseline for ablations.
   StorageLayout layout = StorageLayout::kColumnar;
+  // Parallel-scan work unit: partitions whose time slice exceeds this many
+  // rows split into fixed-size row-range morsels (0 = whole partitions, the
+  // pre-morsel behavior kept for ablations).
+  uint32_t morsel_rows = 16384;
+  // Ablation knobs for the entity-aware scan path. entity_pruning gates the
+  // zone-map entity range/bloom partition pruning; entity_bitmaps gates the
+  // plan-time dense-bitmap translation of candidate sets. Turning either off
+  // changes performance counters only, never results.
+  bool entity_pruning = true;
+  bool entity_bitmaps = true;
 };
 
 class Database : public EventStore {
@@ -164,10 +221,14 @@ class Database : public EventStore {
   // counters move, matching the historical serial behavior. Partitions
   // pruned during planning do count into `stats`. ScanPlannedPartition scans
   // plan.survivors[i], appending matches in time order to `out` (not
-  // globally sorted — callers merge and sort).
+  // globally sorted — callers merge and sort). ScanPlannedMorsel scans one
+  // row-range morsel (see BuildScanMorsels) and accounts partitions_scanned
+  // on the morsel marked `first`.
   std::optional<ScanPlan> PlanQuery(const DataQuery& q, ScanStats* stats) const;
   void ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
                             ScanStats* stats) const;
+  void ScanPlannedMorsel(const ScanPlan& plan, const ScanMorsel& m, std::vector<EventView>* out,
+                         ScanStats* stats) const;
 
   // The distinct day indices covered by ingested data (for time-window
   // partitioned parallel execution).

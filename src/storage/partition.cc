@@ -5,10 +5,6 @@
 namespace aiql {
 namespace {
 
-uint64_t PackObject(EntityType t, uint32_t idx) {
-  return (static_cast<uint64_t>(t) << 32) | idx;
-}
-
 // Threshold under which posting-list access beats a range scan.
 constexpr size_t kPostingCandidateLimit = 4096;
 
@@ -40,22 +36,49 @@ bool EventMatches(const Event& e, const DataQuery& q, const EntityCatalog& catal
   return true;
 }
 
-// Keeps only the selected rows for which `keep` returns true.
-template <typename Keep>
-void FilterSel(std::vector<uint32_t>* sel, Keep keep) {
-  size_t w = 0;
-  for (uint32_t r : *sel) {
-    if (keep(r)) {
-      (*sel)[w++] = r;
+// Applies one compiled column filter with the kernel matching its operator:
+// branch-free compare loops for the ordered ops, the flat small-set probe or
+// the hash fallback for IN / NOT IN.
+template <typename T>
+size_t ApplyColumnFilter(uint32_t* rows, size_t n, const T* col, const ColumnFilter& f) {
+  switch (f.op) {
+    case CmpOp::kIn:
+    case CmpOp::kNotIn: {
+      const bool negate = f.op == CmpOp::kNotIn;
+      if (f.values == nullptr) {
+        // Mirrors ColumnFilter::Matches: IN with no set never matches,
+        // NOT IN with no set always does.
+        return negate ? n : 0;
+      }
+      if (f.values->size() <= kSmallSetProbe) {
+        int64_t flat[kSmallSetProbe];
+        size_t k = 0;
+        for (int64_t v : *f.values) {
+          flat[k++] = v;
+        }
+        return kernels::SelectSmallSet(rows, n, col, flat, k, negate);
+      }
+      return kernels::SelectHashSet(rows, n, col, *f.values, negate);
     }
+    default:
+      return kernels::SelectCompare(rows, n, col, f.op, f.value);
   }
-  sel->resize(w);
 }
 
+// Entity membership without a plan bitmap: flat array for small sets (the
+// probe is an order-independent OR of equality tests), hash probe otherwise.
 template <typename T>
-void FilterSelByColumn(std::vector<uint32_t>* sel, const std::vector<T>& col,
-                       const ColumnFilter& f) {
-  FilterSel(sel, [&](uint32_t r) { return f.Matches(static_cast<int64_t>(col[r])); });
+size_t ApplyMembership(uint32_t* rows, size_t n, const T* col,
+                       const std::unordered_set<uint32_t>& set) {
+  if (set.size() <= kSmallSetProbe) {
+    uint32_t flat[kSmallSetProbe];
+    size_t k = 0;
+    for (uint32_t v : set) {
+      flat[k++] = v;
+    }
+    return kernels::SelectSmallSet(rows, n, col, flat, k, /*negate=*/false);
+  }
+  return kernels::SelectHashSet(rows, n, col, set, /*negate=*/false);
 }
 
 }  // namespace
@@ -92,8 +115,13 @@ void Partition::Finalize(bool build_indexes, StorageLayout layout) {
     Rehydrate();  // re-finalization over new layout/options
   }
   layout_ = layout;
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const Event& a, const Event& b) { return a.start_time < b.start_time; });
+  // (start_time, id) — not just start_time: scan emission order IS the
+  // engine-wide result order (MergeSortedRuns merges per-partition runs
+  // without re-sorting), and AppendRaw replay can ingest equal-timestamp
+  // events with descending ids.
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    return a.start_time != b.start_time ? a.start_time < b.start_time : a.id < b.id;
+  });
 
   zone_ = ZoneMap();
   for (const Event& e : events_) {
@@ -107,7 +135,7 @@ void Partition::Finalize(bool build_indexes, StorageLayout layout) {
     for (uint32_t i = 0; i < events_.size(); ++i) {
       const Event& e = events_[i];
       subject_postings_[e.subject_idx].push_back(i);
-      object_postings_[PackObject(e.object_type, e.object_idx)].push_back(i);
+      object_postings_[PackObjectKey(e.object_type, e.object_idx)].push_back(i);
     }
   }
   has_indexes_ = build_indexes;
@@ -152,7 +180,10 @@ std::pair<size_t, size_t> Partition::TimeSlice(const TimeRange& range) const {
 }
 
 bool Partition::CanMatch(const TimeRange& range, const DataQuery& q,
-                         const CompiledEventPred& pred) const {
+                         const CompiledEventPred& pred,
+                         const std::unordered_set<AgentId>* agent_set,
+                         const CandidateSummary* subjects, const CandidateSummary* objects,
+                         ScanStats* stats) const {
   if (size() == 0) {
     return false;
   }
@@ -166,7 +197,7 @@ bool Partition::CanMatch(const TimeRange& range, const DataQuery& q,
   if ((zone_.object_type_mask & (1u << static_cast<int>(q.object_type))) == 0) {
     return false;
   }
-  if (q.agent_ids.has_value() && !zone_.ContainsAnyAgent(*q.agent_ids)) {
+  if (agent_set != nullptr && !zone_.ContainsAnyAgent(*agent_set)) {
     return false;
   }
   for (const ColumnFilter& f : pred.filters) {
@@ -174,7 +205,59 @@ bool Partition::CanMatch(const TimeRange& range, const DataQuery& q,
       return false;
     }
   }
+  if (subjects != nullptr && !zone_.MayContainSubject(*subjects)) {
+    if (stats != nullptr) {
+      ++stats->partitions_pruned_entity;
+    }
+    return false;
+  }
+  if (objects != nullptr && !zone_.MayContainObject(*objects, q.object_type)) {
+    if (stats != nullptr) {
+      ++stats->partitions_pruned_entity;
+    }
+    return false;
+  }
   return true;
+}
+
+bool Partition::PrefersPostingScan(const std::unordered_set<uint32_t>* subject_set,
+                                   const std::unordered_set<uint32_t>* object_set) const {
+  if (!has_indexes_) {
+    return false;
+  }
+  return (subject_set != nullptr && subject_set->size() <= kPostingCandidateLimit) ||
+         (object_set != nullptr && object_set->size() <= kPostingCandidateLimit);
+}
+
+std::unique_ptr<EntityBitmaps> Partition::TranslateCandidateBitmaps(
+    const std::unordered_set<uint32_t>* subject_set,
+    const std::unordered_set<uint32_t>* object_set,
+    const std::unordered_set<AgentId>* agent_set) const {
+  if (!finalized_columnar()) {
+    return nullptr;  // bitmaps serve the vectorized scan only
+  }
+  EntityBitmaps b;
+  bool any = false;
+  if (subject_set != nullptr) {
+    b.subject = TranslateCandidates(*subject_set, zone_.subject_min, zone_.subject_max, size());
+    any |= b.subject.has_value();
+  }
+  if (object_set != nullptr) {
+    b.object = TranslateCandidates(*object_set, zone_.object_min, zone_.object_max, size());
+    any |= b.object.has_value();
+  }
+  // The agent stage only runs when some zone agent is outside the candidate
+  // set; a bitmap for a partition whose agents all qualify would never be
+  // probed.
+  if (agent_set != nullptr && !zone_.agents.empty() && AgentFilterActive(agent_set)) {
+    b.agent =
+        TranslateCandidates(*agent_set, zone_.agents.front(), zone_.agents.back(), size());
+    any |= b.agent.has_value();
+  }
+  if (!any) {
+    return nullptr;
+  }
+  return std::make_unique<EntityBitmaps>(std::move(b));
 }
 
 bool Partition::PostingCandidates(const DataQuery& q,
@@ -207,7 +290,7 @@ bool Partition::PostingCandidates(const DataQuery& q,
   } else {
     for (uint32_t idx : *object_set) {
       ++stats->index_lookups;
-      auto it = object_postings_.find(PackObject(q.object_type, idx));
+      auto it = object_postings_.find(PackObjectKey(q.object_type, idx));
       if (it != object_postings_.end()) {
         raw.insert(raw.end(), it->second.begin(), it->second.end());
       }
@@ -223,16 +306,14 @@ bool Partition::PostingCandidates(const DataQuery& q,
   return true;
 }
 
-void Partition::ScanOffsetsRows(const std::vector<uint32_t>& offsets, const DataQuery& q,
-                                const EntityCatalog& catalog,
-                                const std::unordered_set<uint32_t>* subject_set,
-                                const std::unordered_set<uint32_t>* object_set,
-                                const std::unordered_set<AgentId>* agent_set,
-                                std::vector<EventView>* out, ScanStats* stats) const {
+void Partition::ScanOffsetsRows(const std::vector<uint32_t>& offsets,
+                                const PartitionScanArgs& args, std::vector<EventView>* out,
+                                ScanStats* stats) const {
   for (uint32_t off : offsets) {
     ++stats->events_scanned;
     const Event& e = events_[off];
-    if (EventMatches(e, q, catalog, subject_set, object_set, agent_set)) {
+    if (EventMatches(e, *args.query, *args.catalog, args.subject_set, args.object_set,
+                     args.agent_set)) {
       ++stats->events_matched;
       out->push_back(EventView(&e));
     }
@@ -251,17 +332,16 @@ bool Partition::AgentFilterActive(const std::unordered_set<AgentId>* agent_set) 
   return false;
 }
 
-bool Partition::NeedsFiltering(const DataQuery& q, const CompiledEventPred& pred,
-                               const std::unordered_set<uint32_t>* subject_set,
-                               const std::unordered_set<uint32_t>* object_set,
-                               const std::unordered_set<AgentId>* agent_set) const {
+bool Partition::NeedsFiltering(const PartitionScanArgs& args) const {
+  const DataQuery& q = *args.query;
+  const CompiledEventPred& pred = *args.pred;
   if (OpFilterActive(static_cast<OpMask>(q.op_mask & pred.op_mask))) {
     return true;
   }
   if (TypeFilterActive(q.object_type)) {
     return true;
   }
-  if (subject_set != nullptr || object_set != nullptr) {
+  if (args.subject_set != nullptr || args.object_set != nullptr) {
     return true;
   }
   if (!pred.residual.is_true()) {
@@ -272,32 +352,52 @@ bool Partition::NeedsFiltering(const DataQuery& q, const CompiledEventPred& pred
       return true;
     }
   }
-  return AgentFilterActive(agent_set);
+  return AgentFilterActive(args.agent_set);
 }
 
-void Partition::VectorScan(std::vector<uint32_t>* sel, const DataQuery& q,
-                           const CompiledEventPred& pred, const EntityCatalog& catalog,
-                           const std::unordered_set<uint32_t>* subject_set,
-                           const std::unordered_set<uint32_t>* object_set,
-                           const std::unordered_set<AgentId>* agent_set,
+void Partition::EmitRange(size_t lo, size_t hi, std::vector<EventView>* out,
+                          ScanStats* stats) const {
+  stats->events_matched += hi - lo;
+  out->reserve(out->size() + (hi - lo));
+  for (size_t i = lo; i < hi; ++i) {
+    out->push_back(EventView(&cols_, static_cast<uint32_t>(i)));
+  }
+}
+
+void Partition::EmitSel(const std::vector<uint32_t>& sel, std::vector<EventView>* out,
+                        ScanStats* stats) const {
+  stats->events_matched += sel.size();
+  out->reserve(out->size() + sel.size());
+  for (uint32_t r : sel) {
+    out->push_back(EventView(&cols_, r));
+  }
+}
+
+void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& args,
                            std::vector<EventView>* out, ScanStats* stats) const {
+  const DataQuery& q = *args.query;
+  const CompiledEventPred& pred = *args.pred;
   stats->events_scanned += sel->size();
+  uint32_t* rows = sel->data();
+  size_t n = sel->size();
 
   // Operation mask — skipped when the zone map proves every row qualifies.
   OpMask mask = static_cast<OpMask>(q.op_mask & pred.op_mask);
   if (OpFilterActive(mask)) {
-    FilterSel(sel, [&](uint32_t r) { return (OpBit(cols_.op[r]) & mask) != 0; });
+    n = kernels::SelectOpMask(rows, n, cols_.op.data(), static_cast<uint32_t>(mask));
   }
 
-  // Object entity type — partitions usually hold a mix of types.
+  // Object entity type — partitions usually hold a mix of types. Runs before
+  // the object membership probe, so that probe only ever sees rows of the
+  // query's object type.
   if (TypeFilterActive(q.object_type)) {
-    FilterSel(sel, [&](uint32_t r) { return cols_.object_type[r] == q.object_type; });
+    n = kernels::SelectEq(rows, n, cols_.object_type.data(), q.object_type);
   }
 
   // Compiled numeric filters, cheapest predicates first; each is skipped when
   // the zone map proves it true for the whole partition.
   for (const ColumnFilter& f : pred.filters) {
-    if (sel->empty()) {
+    if (n == 0) {
       break;
     }
     if (!ColumnFilterActive(f)) {
@@ -305,69 +405,84 @@ void Partition::VectorScan(std::vector<uint32_t>* sel, const DataQuery& q,
     }
     switch (f.col) {
       case NumericColumn::kId:
-        FilterSelByColumn(sel, cols_.id, f);
+        n = ApplyColumnFilter(rows, n, cols_.id.data(), f);
         break;
       case NumericColumn::kSeq:
-        FilterSelByColumn(sel, cols_.seq, f);
+        n = ApplyColumnFilter(rows, n, cols_.seq.data(), f);
         break;
       case NumericColumn::kAgentId:
-        FilterSelByColumn(sel, cols_.agent_id, f);
+        n = ApplyColumnFilter(rows, n, cols_.agent_id.data(), f);
         break;
       case NumericColumn::kStartTime:
-        FilterSelByColumn(sel, cols_.start_time, f);
+        n = ApplyColumnFilter(rows, n, cols_.start_time.data(), f);
         break;
       case NumericColumn::kEndTime:
-        FilterSelByColumn(sel, cols_.end_time, f);
+        n = ApplyColumnFilter(rows, n, cols_.end_time.data(), f);
         break;
       case NumericColumn::kAmount:
-        FilterSelByColumn(sel, cols_.amount, f);
+        n = ApplyColumnFilter(rows, n, cols_.amount.data(), f);
         break;
       case NumericColumn::kFailureCode:
-        FilterSelByColumn(sel, cols_.failure_code, f);
+        n = ApplyColumnFilter(rows, n, cols_.failure_code.data(), f);
         break;
     }
   }
 
+  // Membership stages, strongest probe available first: plan-built dense
+  // bitmap (bit test) > flat small-set array > hash set.
+  const EntityBitmaps* bm = args.bitmaps;
+
   // Spatial constraint — skipped when every agent in the partition qualifies.
-  if (!sel->empty() && AgentFilterActive(agent_set)) {
-    FilterSel(sel, [&](uint32_t r) { return agent_set->count(cols_.agent_id[r]) > 0; });
+  if (n > 0 && AgentFilterActive(args.agent_set)) {
+    if (bm != nullptr && bm->agent.has_value()) {
+      stats->bitmap_probes += n;
+      n = kernels::SelectBitmap(rows, n, cols_.agent_id.data(), *bm->agent);
+    } else {
+      n = ApplyMembership(rows, n, cols_.agent_id.data(), *args.agent_set);
+    }
   }
 
   // Entity membership probes.
-  if (subject_set != nullptr && !sel->empty()) {
-    FilterSel(sel, [&](uint32_t r) { return subject_set->count(cols_.subject_idx[r]) > 0; });
+  if (args.subject_set != nullptr && n > 0) {
+    if (bm != nullptr && bm->subject.has_value()) {
+      stats->bitmap_probes += n;
+      n = kernels::SelectBitmap(rows, n, cols_.subject_idx.data(), *bm->subject);
+    } else {
+      n = ApplyMembership(rows, n, cols_.subject_idx.data(), *args.subject_set);
+    }
   }
-  if (object_set != nullptr && !sel->empty()) {
-    FilterSel(sel, [&](uint32_t r) { return object_set->count(cols_.object_idx[r]) > 0; });
+  if (args.object_set != nullptr && n > 0) {
+    if (bm != nullptr && bm->object.has_value()) {
+      stats->bitmap_probes += n;
+      n = kernels::SelectBitmap(rows, n, cols_.object_idx.data(), *bm->object);
+    } else {
+      n = ApplyMembership(rows, n, cols_.object_idx.data(), *args.object_set);
+    }
   }
 
   // Residual predicate: row-at-a-time over whatever survives.
-  if (!pred.residual.is_true() && !sel->empty()) {
-    FilterSel(sel, [&](uint32_t r) {
+  if (!pred.residual.is_true() && n > 0) {
+    n = kernels::SelectIf(rows, n, [&](uint32_t r) {
       EventView v(&cols_, r);
-      auto source = [&](std::string_view attr) { return GetEventAttr(v, catalog, attr); };
+      auto source = [&](std::string_view attr) { return GetEventAttr(v, *args.catalog, attr); };
       return pred.residual.Eval(source);
     });
   }
 
-  stats->events_matched += sel->size();
-  out->reserve(out->size() + sel->size());
-  for (uint32_t r : *sel) {
-    out->push_back(EventView(&cols_, r));
-  }
+  sel->resize(n);
+  EmitSel(*sel, out, stats);
 }
 
-void Partition::Execute(const DataQuery& q, const CompiledEventPred& pred,
-                        const EntityCatalog& catalog,
-                        const std::unordered_set<uint32_t>* subject_set,
-                        const std::unordered_set<uint32_t>* object_set,
-                        const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
+void Partition::Execute(const PartitionScanArgs& args, std::vector<EventView>* out,
                         ScanStats* stats) const {
+  const DataQuery& q = *args.query;
   TimeRange range = q.EffectiveTime();
   if (range.empty() || size() == 0 || range.begin > max_time() || range.end <= min_time()) {
     return;
   }
-  auto [lo, hi] = TimeSlice(range);
+  auto [slice_lo, slice_hi] = TimeSlice(range);
+  size_t lo = std::max<size_t>(slice_lo, args.begin_row);
+  size_t hi = std::min<size_t>(slice_hi, args.end_row);
   if (lo >= hi) {
     return;
   }
@@ -375,18 +490,15 @@ void Partition::Execute(const DataQuery& q, const CompiledEventPred& pred,
   // Access path selection: when a side has a small candidate set and postings
   // exist, union the posting lists instead of scanning the time slice.
   std::vector<uint32_t> sel;
-  bool from_postings = PostingCandidates(q, subject_set, object_set, lo, hi, &sel, stats);
+  bool from_postings =
+      PostingCandidates(q, args.subject_set, args.object_set, lo, hi, &sel, stats);
 
   if (finalized_columnar()) {
     // Fast path: the zone map proves every row in the slice matches — emit
     // the whole range without materializing a selection vector.
-    if (!from_postings && !NeedsFiltering(q, pred, subject_set, object_set, agent_set)) {
+    if (!from_postings && !NeedsFiltering(args)) {
       stats->events_scanned += hi - lo;
-      stats->events_matched += hi - lo;
-      out->reserve(out->size() + (hi - lo));
-      for (size_t i = lo; i < hi; ++i) {
-        out->push_back(EventView(&cols_, static_cast<uint32_t>(i)));
-      }
+      EmitRange(lo, hi, out, stats);
       return;
     }
     if (!from_postings) {
@@ -395,18 +507,18 @@ void Partition::Execute(const DataQuery& q, const CompiledEventPred& pred,
         sel[i - lo] = static_cast<uint32_t>(i);
       }
     }
-    VectorScan(&sel, q, pred, catalog, subject_set, object_set, agent_set, out, stats);
+    VectorScan(&sel, args, out, stats);
     return;
   }
 
   if (from_postings) {
-    ScanOffsetsRows(sel, q, catalog, subject_set, object_set, agent_set, out, stats);
+    ScanOffsetsRows(sel, args, out, stats);
     return;
   }
   for (size_t i = lo; i < hi; ++i) {
     ++stats->events_scanned;
     const Event& e = events_[i];
-    if (EventMatches(e, q, catalog, subject_set, object_set, agent_set)) {
+    if (EventMatches(e, q, *args.catalog, args.subject_set, args.object_set, args.agent_set)) {
       ++stats->events_matched;
       out->push_back(EventView(&e));
     }

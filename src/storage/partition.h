@@ -18,15 +18,48 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/data_query.h"
 #include "src/storage/event.h"
 #include "src/storage/event_view.h"
+#include "src/storage/scan_kernels.h"
 #include "src/storage/zone_map.h"
 
 namespace aiql {
+
+// Plan-time per-partition entity filters: pushed-down candidate sets
+// translated into dense bitmaps over this partition's zone index ranges, so
+// the scan's membership probe is a bit test instead of a hash lookup. Built
+// once per (plan, partition) and shared read-only by every morsel that scans
+// the partition. Any member may be absent (set too small — the flat probe
+// wins — or index range too wide for an affordable bitmap).
+struct EntityBitmaps {
+  std::optional<DenseBitmap> subject;
+  std::optional<DenseBitmap> object;
+  std::optional<DenseBitmap> agent;
+};
+
+// One partition-scan invocation: the query, its compiled predicate, the
+// resolved candidate sets, optional plan-built bitmaps, and a row clamp for
+// sub-partition morsels. All pointers are borrowed; `query`, `pred`, and
+// `catalog` must be non-null.
+struct PartitionScanArgs {
+  const DataQuery* query = nullptr;
+  const CompiledEventPred* pred = nullptr;
+  const EntityCatalog* catalog = nullptr;
+  const std::unordered_set<uint32_t>* subject_set = nullptr;
+  const std::unordered_set<uint32_t>* object_set = nullptr;
+  const std::unordered_set<AgentId>* agent_set = nullptr;
+  const EntityBitmaps* bitmaps = nullptr;
+  // Row clamp within the partition; the scan intersects it with the query's
+  // time slice. The default covers the whole partition.
+  uint32_t begin_row = 0;
+  uint32_t end_row = UINT32_MAX;
+};
 
 enum class StorageLayout : uint8_t {
   kColumnar = 0,  // structure-of-arrays + vectorized scan (AIQL storage)
@@ -75,18 +108,43 @@ class Partition {
 
   // Zone-map candidate check: could ANY event in this partition satisfy the
   // query? `range` is the query's effective time range, `pred` the compiled
-  // event predicate. Consulted by Database::ExecuteQuery before any scan.
-  bool CanMatch(const TimeRange& range, const DataQuery& q,
-                const CompiledEventPred& pred) const;
+  // event predicate, `agent_set` the plan's resolved agent candidates, and
+  // `subjects`/`objects` optional plan-time candidate-set summaries (entity
+  // range + bloom pruning; a prune they cause bumps
+  // stats->partitions_pruned_entity). Consulted by Database::PlanQuery before
+  // any scan.
+  bool CanMatch(const TimeRange& range, const DataQuery& q, const CompiledEventPred& pred,
+                const std::unordered_set<AgentId>* agent_set, const CandidateSummary* subjects,
+                const CandidateSummary* objects, ScanStats* stats) const;
 
-  // Appends matching events to `out`. `subject_set` / `object_set` /
-  // `agent_set` are optional membership filters (nullptr = any). `pred` must
-  // be the compilation of `q.event_pred`.
-  void Execute(const DataQuery& q, const CompiledEventPred& pred, const EntityCatalog& catalog,
-               const std::unordered_set<uint32_t>* subject_set,
-               const std::unordered_set<uint32_t>* object_set,
-               const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
+  // Appends events matching `args` (clamped to args.begin_row/end_row) to
+  // `out`, in time order. args.pred must be the compilation of
+  // args.query->event_pred.
+  void Execute(const PartitionScanArgs& args, std::vector<EventView>* out,
                ScanStats* stats) const;
+
+  // Offsets of this partition's rows inside the query time range (the rows
+  // Execute would consider before filtering). Used by the morsel planner to
+  // split large partitions into row ranges.
+  std::pair<uint32_t, uint32_t> SliceRows(const TimeRange& range) const {
+    auto [lo, hi] = TimeSlice(range);
+    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
+  }
+
+  // True when Execute would take the posting-list access path for these
+  // candidate sets. Such partitions are never split into row morsels: the
+  // posting union would be repeated (and its stats double-counted) per
+  // morsel.
+  bool PrefersPostingScan(const std::unordered_set<uint32_t>* subject_set,
+                          const std::unordered_set<uint32_t>* object_set) const;
+
+  // Translates the candidate sets into dense bitmaps over this partition's
+  // zone index ranges (see EntityBitmaps). Returns nullptr when no side is
+  // worth a bitmap.
+  std::unique_ptr<EntityBitmaps> TranslateCandidateBitmaps(
+      const std::unordered_set<uint32_t>* subject_set,
+      const std::unordered_set<uint32_t>* object_set,
+      const std::unordered_set<AgentId>* agent_set) const;
 
   // Visits every event in storage order (start_time order once finalized).
   // Columnar partitions materialize rows on the fly.
@@ -127,25 +185,22 @@ class Partition {
 
   // True when some scan stage could reject a row in this partition; false
   // means every row in a time slice matches and can be emitted directly.
-  bool NeedsFiltering(const DataQuery& q, const CompiledEventPred& pred,
-                      const std::unordered_set<uint32_t>* subject_set,
-                      const std::unordered_set<uint32_t>* object_set,
-                      const std::unordered_set<AgentId>* agent_set) const;
+  bool NeedsFiltering(const PartitionScanArgs& args) const;
 
   // Row-oriented scan of explicit offsets (posting candidates).
-  void ScanOffsetsRows(const std::vector<uint32_t>& offsets, const DataQuery& q,
-                       const EntityCatalog& catalog,
-                       const std::unordered_set<uint32_t>* subject_set,
-                       const std::unordered_set<uint32_t>* object_set,
-                       const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
-                       ScanStats* stats) const;
+  void ScanOffsetsRows(const std::vector<uint32_t>& offsets, const PartitionScanArgs& args,
+                       std::vector<EventView>* out, ScanStats* stats) const;
 
-  // Columnar scan: narrows `sel` one column at a time, then emits views.
-  void VectorScan(std::vector<uint32_t>* sel, const DataQuery& q, const CompiledEventPred& pred,
-                  const EntityCatalog& catalog, const std::unordered_set<uint32_t>* subject_set,
-                  const std::unordered_set<uint32_t>* object_set,
-                  const std::unordered_set<AgentId>* agent_set, std::vector<EventView>* out,
-                  ScanStats* stats) const;
+  // Columnar scan: narrows `sel` one kernel at a time, then emits views.
+  void VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& args,
+                  std::vector<EventView>* out, ScanStats* stats) const;
+
+  // The two columnar emit paths (whole range / selection vector): one
+  // reserve, and the single place events_matched is accounted, so the fast
+  // path and the filtered path cannot drift on stats.
+  void EmitRange(size_t lo, size_t hi, std::vector<EventView>* out, ScanStats* stats) const;
+  void EmitSel(const std::vector<uint32_t>& sel, std::vector<EventView>* out,
+               ScanStats* stats) const;
 
   // Unions posting lists for the chosen side into sorted offsets clipped to
   // [lo, hi). Returns false when no side qualifies for index access.

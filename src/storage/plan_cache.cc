@@ -1,5 +1,7 @@
 #include "src/storage/plan_cache.h"
 
+#include <cstdio>
+
 #include "src/storage/database.h"
 
 namespace aiql {
@@ -36,8 +38,11 @@ void AppendValue(const Value& v, std::string* out) {
     out->append("i:");
     out->append(std::to_string(v.as_int()));
   } else {
-    out->append("d:");
-    out->append(std::to_string(v.as_double()));
+    // Hex-float: lossless, so doubles closer than std::to_string's six
+    // fractional digits cannot collide onto one cache entry.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "d:%a", v.as_double());
+    out->append(buf);
   }
   out->push_back('\x1f');
 }

@@ -1,0 +1,36 @@
+#include "src/storage/scan_kernels.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+std::optional<DenseBitmap> TranslateCandidates(const std::unordered_set<uint32_t>& set,
+                                               uint32_t zone_min, uint32_t zone_max,
+                                               size_t partition_rows) {
+  if (set.size() <= kSmallSetProbe || zone_min > zone_max) {
+    return std::nullopt;
+  }
+  // Building iterates the whole candidate set once per partition while the
+  // bitmap saves one hash probe per scanned row, so a set far larger than the
+  // partition can never amortize — fall back to the hash kernel.
+  if (set.size() > 4 * partition_rows) {
+    return std::nullopt;
+  }
+  const uint64_t span = uint64_t{zone_max} - zone_min + 1;
+  // Affordability: zeroing `span` bits must stay small against the rows whose
+  // probes the bitmap accelerates. The floor keeps dense entity spaces (the
+  // common case: catalog indexes are allocated contiguously) always eligible.
+  const uint64_t cap = std::max<uint64_t>(1u << 16, 16 * static_cast<uint64_t>(partition_rows));
+  if (span > cap || span > UINT32_MAX) {
+    return std::nullopt;
+  }
+  DenseBitmap bitmap(zone_min, static_cast<uint32_t>(span));
+  for (uint32_t v : set) {
+    if (bitmap.Covers(v)) {
+      bitmap.Set(v);
+    }
+  }
+  return bitmap;
+}
+
+}  // namespace aiql

@@ -48,12 +48,84 @@ void ZoneMap::Observe(const Event& e) {
   op_mask |= OpBit(e.op);
   object_type_mask |= static_cast<uint8_t>(1u << static_cast<int>(e.object_type));
   agents.push_back(e.agent_id);
+  subject_min = std::min(subject_min, e.subject_idx);
+  subject_max = std::max(subject_max, e.subject_idx);
+  object_min = std::min(object_min, e.object_idx);
+  object_max = std::max(object_max, e.object_idx);
+  pending_subjects_.push_back(e.subject_idx);
+  pending_objects_.push_back(PackObjectKey(e.object_type, e.object_idx));
 }
 
+namespace {
+
+template <typename T>
+void SortDedupe(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
 void ZoneMap::Seal() {
-  std::sort(agents.begin(), agents.end());
-  agents.erase(std::unique(agents.begin(), agents.end()), agents.end());
+  SortDedupe(&agents);
   agents.shrink_to_fit();
+
+  SortDedupe(&pending_subjects_);
+  subject_bloom.Build(pending_subjects_.size());
+  for (uint32_t idx : pending_subjects_) {
+    subject_bloom.Add(idx);
+  }
+  pending_subjects_ = {};
+
+  SortDedupe(&pending_objects_);
+  object_bloom.Build(pending_objects_.size());
+  for (uint64_t key : pending_objects_) {
+    object_bloom.Add(key);
+  }
+  pending_objects_ = {};
+}
+
+CandidateSummary CandidateSummary::For(const std::unordered_set<uint32_t>& set) {
+  CandidateSummary s;
+  s.set = &set;
+  s.min_idx = UINT32_MAX;
+  s.max_idx = 0;
+  for (uint32_t idx : set) {
+    s.min_idx = std::min(s.min_idx, idx);
+    s.max_idx = std::max(s.max_idx, idx);
+  }
+  s.bloom_probe = set.size() <= kEntityBloomProbeLimit;
+  return s;
+}
+
+bool ZoneMap::MayContainSubject(const CandidateSummary& s) const {
+  if (s.max_idx < subject_min || s.min_idx > subject_max) {
+    return false;
+  }
+  if (s.bloom_probe && !subject_bloom.empty()) {
+    for (uint32_t idx : *s.set) {
+      if (subject_bloom.MayContain(idx)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ZoneMap::MayContainObject(const CandidateSummary& s, EntityType object_type) const {
+  if (s.max_idx < object_min || s.min_idx > object_max) {
+    return false;
+  }
+  if (s.bloom_probe && !object_bloom.empty()) {
+    for (uint32_t idx : *s.set) {
+      if (object_bloom.MayContain(PackObjectKey(object_type, idx))) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;
 }
 
 bool ColumnFilter::Matches(int64_t v) const {

@@ -24,10 +24,34 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/storage/bloom.h"
 #include "src/storage/event.h"
 #include "src/storage/predicate.h"
 
 namespace aiql {
+
+// Object entity references are type-scoped: postings, blooms, and probes key
+// on the (type, index) pair packed into one word.
+inline uint64_t PackObjectKey(EntityType t, uint32_t idx) {
+  return (static_cast<uint64_t>(t) << 32) | idx;
+}
+
+// Above this many candidates, probing a partition's entity bloom filter
+// candidate-by-candidate at plan time costs more than it can save.
+inline constexpr size_t kEntityBloomProbeLimit = 256;
+
+// Plan-time summary of one pushed-down candidate entity set, computed once
+// per query and consulted by Partition::CanMatch for every partition: the
+// candidate index range (zone min/max intersection test) and whether the set
+// is small enough to probe partition blooms candidate-by-candidate.
+struct CandidateSummary {
+  const std::unordered_set<uint32_t>* set = nullptr;
+  uint32_t min_idx = 0;
+  uint32_t max_idx = 0;
+  bool bloom_probe = false;  // set->size() <= kEntityBloomProbeLimit
+
+  static CandidateSummary For(const std::unordered_set<uint32_t>& set);
+};
 
 // Numeric event columns addressable by zone maps and vectorized filters.
 enum class NumericColumn : uint8_t {
@@ -52,29 +76,66 @@ struct ZoneMap {
   uint8_t object_type_mask = 0;          // bit i = EntityType(i) present
   std::vector<AgentId> agents;           // sorted distinct agents
 
+  // Entity summaries: index ranges plus blocked bloom filters over the
+  // distinct entity references, so pushed-down candidate sets can prune a
+  // partition before any column is touched. object_min/max cover object
+  // indexes of every type (a conservative range); the object bloom keys on
+  // PackObjectKey(type, idx) and is therefore type-exact.
+  uint32_t subject_min = UINT32_MAX;
+  uint32_t subject_max = 0;
+  uint32_t object_min = UINT32_MAX;
+  uint32_t object_max = 0;
+  BlockedBloom subject_bloom;
+  BlockedBloom object_bloom;
+
   ZoneMap() {
     std::fill(std::begin(min), std::end(min), INT64_MAX);
     std::fill(std::begin(max), std::end(max), INT64_MIN);
   }
 
   void Observe(const Event& e);
-  // Sorts/dedupes the agent set; call once after the last Observe.
+  // Sorts/dedupes the agent set and builds the entity blooms; call once after
+  // the last Observe.
   void Seal();
 
   bool ContainsAgent(AgentId a) const {
     return std::binary_search(agents.begin(), agents.end(), a);
   }
-  bool ContainsAnyAgent(const std::vector<AgentId>& candidates) const {
-    for (AgentId a : candidates) {
-      if (ContainsAgent(a)) {
+  // Any candidate present in this partition? Takes the planner's resolved
+  // agent set and iterates whichever side is smaller: a handful of candidates
+  // binary-search the sorted agent list; a huge pushed-down candidate set is
+  // instead probed once per (distinct, small) zone agent — the probe
+  // direction swaps so cost is O(min(|agents|, |candidates|) · log/1).
+  bool ContainsAnyAgent(const std::unordered_set<AgentId>& candidates) const {
+    if (candidates.size() < agents.size()) {
+      for (AgentId a : candidates) {
+        if (ContainsAgent(a)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    for (AgentId a : agents) {
+      if (candidates.count(a) > 0) {
         return true;
       }
     }
     return false;
   }
 
+  // Could any candidate subject / object reference exist in this partition?
+  // Range check first, then (for small sets) the bloom; `object_type` scopes
+  // the object probe. False proves absence; true only means "possible".
+  bool MayContainSubject(const CandidateSummary& s) const;
+  bool MayContainObject(const CandidateSummary& s, EntityType object_type) const;
+
   int64_t MinOf(NumericColumn c) const { return min[static_cast<int>(c)]; }
   int64_t MaxOf(NumericColumn c) const { return max[static_cast<int>(c)]; }
+
+ private:
+  // Distinct-key staging for the Seal()-time bloom build; cleared by Seal.
+  std::vector<uint32_t> pending_subjects_;
+  std::vector<uint64_t> pending_objects_;
 };
 
 // One vectorizable comparison: column <op> value (or value set for IN).

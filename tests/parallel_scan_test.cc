@@ -123,8 +123,9 @@ std::vector<int64_t> IdsOf(const std::vector<EventView>& events) {
 
 // Strategy-invariant ScanStats fields (everything but parallel_morsels).
 std::vector<uint64_t> InvariantStats(const ScanStats& s) {
-  return {s.events_scanned,  s.events_matched, s.partitions_pruned,
-          s.partitions_scanned, s.events_skipped, s.index_lookups};
+  return {s.events_scanned,  s.events_matched,          s.partitions_pruned,
+          s.partitions_scanned, s.events_skipped,       s.index_lookups,
+          s.partitions_pruned_entity, s.bitmap_probes};
 }
 
 class ParallelScanPropertyTest : public ::testing::TestWithParam<StorageLayout> {};
@@ -151,8 +152,10 @@ TEST_P(ParallelScanPropertyTest, ParallelismDoesNotChangeResultsOrStats) {
       EXPECT_EQ(par_ids, serial_ids) << "trial " << trial << " parallelism " << parallelism;
       EXPECT_EQ(InvariantStats(par_stats), InvariantStats(serial_stats))
           << "trial " << trial << " parallelism " << parallelism;
+      // Every scanned partition contributes at least one work-queue entry;
+      // large ones may split into several row-range morsels.
       if (pool != nullptr && par_stats.partitions_scanned >= 2) {
-        EXPECT_EQ(par_stats.parallel_morsels, par_stats.partitions_scanned) << "trial " << trial;
+        EXPECT_GE(par_stats.parallel_morsels, par_stats.partitions_scanned) << "trial " << trial;
       }
     }
   }
