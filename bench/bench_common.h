@@ -64,6 +64,24 @@ inline uint32_t MorselRowsFromEnv(uint32_t fallback) {
   return static_cast<uint32_t>(v);
 }
 
+// Archive-tier knob: AIQL_ARCHIVE_AFTER_DAYS sets
+// DatabaseOptions::archive_after_days for the archive ablation rows
+// (0 = archive every partition, < 0 disables). Absent or malformed -> the
+// fallback; 0 is meaningful, so garbage must not parse as 0.
+inline int64_t ArchiveAfterDaysFromEnv(int64_t fallback) {
+  const char* s = std::getenv("AIQL_ARCHIVE_AFTER_DAYS");
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "ignoring malformed AIQL_ARCHIVE_AFTER_DAYS=%s\n", s);
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
 struct World {
   ScenarioConfig config;
   std::unique_ptr<Database> optimized;  // time/space partitions + indexes

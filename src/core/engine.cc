@@ -36,7 +36,7 @@ Result<PreparedQuery> AiqlEngine::Prepare(const std::string& text) const {
   prepared.engine_ = this;
   prepared.ast_ = parsed.take();
   prepared.params_ = CollectParams(prepared.ast_);
-  prepared.cache_ = std::make_shared<ScanPlanCache>();
+  prepared.cache_ = std::make_shared<ScanPlanCache>(db_->PlanCacheCapacity());
 
   if (prepared.params_.empty()) {
     // Fully resolve now; every Bind/Run reuses this context.
@@ -116,6 +116,17 @@ Result<ResultTable> AiqlEngine::ExecuteContext(const QueryContext& ctx,
     }
     return ProjectResults(ctx, tuples.value(), db_->catalog(), session);
   }();
+
+  // Projection materialized every returned value, so the decoded archive
+  // columns this run pinned can go back to plain decode-cache residency.
+  session->pins.Clear();
+
+  // Lifetime eviction count of the run's plan cache (not a per-run delta):
+  // a re-bind loop over more distinct constraint sets than the capacity
+  // shows up here instead of as unbounded cache growth.
+  if (session->plan_cache != nullptr) {
+    session->stats.plan_cache_evictions = session->plan_cache->evictions();
+  }
 
   if (out.ok()) {
     out.value().set_exec_stats(session->stats);

@@ -30,6 +30,11 @@ struct ExecStats {
   // Data-query fetches that reused a compiled ScanPlan instead of replanning
   // (prepare/bind/execute lifecycle; see src/storage/plan_cache.h).
   uint64_t plan_cache_hits = 0;
+  // Entries the LRU-capped plan cache has dropped over its lifetime, sampled
+  // at the end of the run (cumulative per cache, not per run): a prepared
+  // query re-bound across more distinct constraint sets than
+  // plan_cache_capacity shows this climbing instead of the cache growing.
+  uint64_t plan_cache_evictions = 0;
 };
 
 struct ExecutionSession {
@@ -45,6 +50,12 @@ struct ExecutionSession {
   // Compiled-scan-plan cache shared by all executions of one PreparedQuery;
   // null disables plan reuse. Not owned.
   ScanPlanCache* plan_cache = nullptr;
+
+  // Decoded-column pins for archived partitions touched by this execution:
+  // every EventView the run produces stays valid until the pins clear, even
+  // if the decode cache evicts the columns mid-run. The engine clears them
+  // after projection (results are materialized values by then).
+  ColumnPins pins;
 
   void RequestCancel() { cancelled.store(true, std::memory_order_relaxed); }
   bool IsCancelled() const { return cancelled.load(std::memory_order_relaxed); }

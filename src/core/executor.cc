@@ -21,7 +21,7 @@ const char* SchedulerKindName(SchedulerKind k) {
 
 std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
                                       const ExecOptions& options, ThreadPool* pool,
-                                      ExecutionSession* session) {
+                                      ExecutionSession* session, const ScanContext* ctx) {
   ExecStats* stats = &session->stats;
   ++stats->data_queries;
   bool parallel = pool != nullptr && options.parallelism > 1;
@@ -32,7 +32,7 @@ std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& que
   // constraint sets.
   if (parallel && options.storage_parallel && db.SupportsParallelScan()) {
     return db.ExecuteQueryCached(query, &stats->scan, pool, session->plan_cache,
-                                 &stats->plan_cache_hits);
+                                 &stats->plan_cache_hits, ctx);
   }
   // Fallback for stores without internal parallelism: split multi-day time
   // windows into per-day sub-queries and run those on the pool.
@@ -46,11 +46,14 @@ std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& que
       std::vector<std::vector<EventView>> slices(num_days);
       std::vector<ScanStats> slice_stats(num_days);
       pool->ParallelFor(num_days, [&](size_t k) {
+        if (ctx != nullptr && ctx->ShouldStop()) {
+          return;
+        }
         DataQuery sub = query;
         TimeRange day{DayStart(first_day + static_cast<int64_t>(k)),
                       DayStart(first_day + static_cast<int64_t>(k) + 1)};
         sub.pushed_time = query.pushed_time.has_value() ? query.pushed_time->Intersect(day) : day;
-        slices[k] = db.ExecuteQuery(sub, &slice_stats[k]);
+        slices[k] = db.ExecuteQuery(sub, &slice_stats[k], ctx);
       });
       std::vector<EventView> out;
       size_t total = 0;
@@ -69,7 +72,7 @@ std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& que
     }
   }
   return db.ExecuteQueryCached(query, &stats->scan, nullptr, session->plan_cache,
-                               &stats->plan_cache_hits);
+                               &stats->plan_cache_hits, ctx);
 }
 
 namespace {
@@ -153,6 +156,12 @@ class MultieventExecutor {
                     .hash_equality = options.scheduler != SchedulerKind::kBigJoin,
                     .temporal_index = options.scheduler != SchedulerKind::kBigJoin}) {
     stats_->pattern_matches.assign(ctx.patterns.size(), 0);
+    // The per-run scan context: storage-layer morsel loops check the
+    // cancellation flag and this run's deadline between morsels, and decoded
+    // archive columns pin into the session for the run's lifetime.
+    scan_ctx_.cancel = &session->cancelled;
+    scan_ctx_.ArmDeadline(options.time_budget_ms);
+    scan_ctx_.pins = &session->pins;
   }
 
   Result<TupleSet> Run() {
@@ -160,7 +169,14 @@ class MultieventExecutor {
                                   ? RunBigJoin()
                                   : RunRelationshipLoop();
     stats_->join_work = budget_.rows_produced();
+    // The per-loop checks run BEFORE each fetch; a cancel or deadline firing
+    // during the final scan stops that scan mid-plan with no later check to
+    // notice. ShouldStop true here means the matches may be truncated, so
+    // the run must fail rather than pass them off as the answer.
     if (result.ok()) {
+      if (Status s = CheckStop(); !s.ok()) {
+        return Result<TupleSet>(s);
+      }
       stats_->final_tuples = result.value().num_rows();
     }
     return result;
@@ -168,6 +184,19 @@ class MultieventExecutor {
 
  private:
   size_t Score(size_t pattern) const { return ctx_.patterns[pattern].PruningScore(); }
+
+  // Cancellation / scan-deadline check between execution steps. A stopped
+  // storage scan returns a partial result, so the run must fail rather than
+  // pass truncated matches off as the answer.
+  Status CheckStop() const {
+    if (session_->IsCancelled()) {
+      return Status::Error("execution cancelled");
+    }
+    if (scan_ctx_.DeadlineExpired()) {
+      return Status::Error("execution budget exceeded: time limit reached");
+    }
+    return Status::Ok();
+  }
 
   // Executes the data query of `pattern`, optionally constrained by the
   // already-known bindings of the relationship's other endpoint.
@@ -177,7 +206,7 @@ class MultieventExecutor {
         rel != nullptr && known != nullptr) {
       InjectPushdown(&q, *rel, pattern, *known);
     }
-    matches_[pattern] = FetchDataQuery(db_, q, options_, pool_, session_);
+    matches_[pattern] = FetchDataQuery(db_, q, options_, pool_, session_, &scan_ctx_);
     ApplyIntraRels(ctx_, pattern, &matches_[pattern], db_.catalog());
     executed_[pattern] = true;
     stats_->pattern_matches[pattern] = matches_[pattern].size();
@@ -296,13 +325,16 @@ class MultieventExecutor {
     // Fetch-and-filter executes every data query up front (paper §5.2).
     if (options_.scheduler == SchedulerKind::kFetchFilter) {
       for (size_t i = 0; i < n; ++i) {
+        if (Status s = CheckStop(); !s.ok()) {
+          return Result<TupleSet>(s);
+        }
         ExecutePattern(i, nullptr, nullptr);
       }
     }
 
     for (const Relationship& rel : rels) {
-      if (session_->IsCancelled()) {
-        return Result<TupleSet>::Error("execution cancelled");
+      if (Status s = CheckStop(); !s.ok()) {
+        return Result<TupleSet>(s);
       }
       size_t a = rel.left();
       size_t b = rel.right();
@@ -380,6 +412,9 @@ class MultieventExecutor {
     // Step 4: patterns untouched by any relationship.
     for (size_t i = 0; i < n; ++i) {
       if (!executed_[i]) {
+        if (Status s = CheckStop(); !s.ok()) {
+          return Result<TupleSet>(s);
+        }
         ExecutePattern(i, nullptr, nullptr);
       }
       if (m_[i] == nullptr) {
@@ -417,8 +452,8 @@ class MultieventExecutor {
     matches_.assign(n, {});
     executed_.assign(n, false);
     for (size_t i = 0; i < n; ++i) {
-      if (session_->IsCancelled()) {
-        return Result<TupleSet>::Error("execution cancelled");
+      if (Status s = CheckStop(); !s.ok()) {
+        return Result<TupleSet>(s);
       }
       ExecutePattern(i, nullptr, nullptr);
     }
@@ -449,6 +484,7 @@ class MultieventExecutor {
   ThreadPool* pool_;
   ExecutionSession* session_;
   ExecStats* stats_;
+  ScanContext scan_ctx_;
   BudgetGuard budget_;
   TupleJoiner joiner_;
 

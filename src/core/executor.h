@@ -73,10 +73,14 @@ Result<TupleSet> ExecuteMultievent(const EventStore& db, const QueryContext& ctx
 // (ExecuteQueryParallel); stores without one get the day-split fallback:
 // multi-day time windows split into per-day sub-queries run on the pool.
 // Consults the session's plan cache (stores that support it skip replanning
-// repeated constraint sets).
+// repeated constraint sets). `ctx` (optional) is threaded into the storage
+// scan loops: cancellation/deadline stop the scan between morsels (the
+// partial result surfaces as the run's cancellation/budget error), and
+// decoded archive columns are pinned for the session.
 std::vector<EventView> FetchDataQuery(const EventStore& db, const DataQuery& query,
                                       const ExecOptions& options, ThreadPool* pool,
-                                      ExecutionSession* session);
+                                      ExecutionSession* session,
+                                      const ScanContext* ctx = nullptr);
 
 }  // namespace aiql
 

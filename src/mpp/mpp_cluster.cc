@@ -79,12 +79,18 @@ size_t MppCluster::num_events() const {
 }
 
 std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
-                                                        ThreadPool* pool) const {
+                                                        ThreadPool* pool,
+                                                        const ScanContext* ctx) const {
   if (pool == nullptr) {
-    return ExecuteQuery(query, stats);
+    return ExecuteQuery(query, stats, ctx);
   }
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
+
+  // Pin decoded archive columns across this call's merge when the caller
+  // provided no sink.
+  ScanPinScope pin_scope(ctx);
+  ctx = pin_scope.ctx();
 
   // Plan every segment serially (cheap: zone-map arithmetic; the shared
   // catalog makes entity resolution identical per segment), then flatten all
@@ -113,7 +119,10 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
   if (morsels.size() < 2) {
     std::vector<EventView> out;
     for (const Morsel& m : morsels) {
-      m.segment->ScanPlannedMorsel(*m.plan, m.m, &out, st);
+      if (ctx != nullptr && ctx->ShouldStop()) {
+        break;
+      }
+      m.segment->ScanPlannedMorsel(*m.plan, m.m, &out, st, ctx);
     }
     SortByTimeThenId(&out);
     return out;
@@ -122,19 +131,29 @@ std::vector<EventView> MppCluster::ExecuteQueryParallel(const DataQuery& query, 
   std::vector<std::vector<EventView>> slots(morsels.size());
   std::vector<ScanStats> worker_stats(pool->max_participants());
   pool->RunBulk(morsels.size(), [&](size_t worker, size_t m) {
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      return;  // claimed but skipped: the queue drains without scanning
+    }
     morsels[m].segment->ScanPlannedMorsel(*morsels[m].plan, morsels[m].m, &slots[m],
-                                          &worker_stats[worker]);
+                                          &worker_stats[worker], ctx);
   });
   st->parallel_morsels += morsels.size();
   return MergeMorselResults(&slots, worker_stats, st);
 }
 
-std::vector<EventView> MppCluster::ExecuteQuery(const DataQuery& query,
-                                                ScanStats* stats) const {
+std::vector<EventView> MppCluster::ExecuteQuery(const DataQuery& query, ScanStats* stats,
+                                                const ScanContext* ctx) const {
+  // Segment scans pin their own decodes only for the segment-local merge;
+  // the gather below still reads the views, so pin across it too.
+  ScanPinScope pin_scope(ctx);
+  ctx = pin_scope.ctx();
   std::vector<std::vector<EventView>> partials(segments_.size());
   std::vector<ScanStats> partial_stats(segments_.size());
   pool_->ParallelFor(segments_.size(), [&](size_t i) {
-    partials[i] = segments_[i]->ExecuteQuery(query, &partial_stats[i]);
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      return;
+    }
+    partials[i] = segments_[i]->ExecuteQuery(query, &partial_stats[i], ctx);
   });
   size_t total = 0;
   for (size_t i = 0; i < segments_.size(); ++i) {

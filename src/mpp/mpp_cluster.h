@@ -44,18 +44,27 @@ class MppCluster : public EventStore {
   const Database& segment(size_t i) const { return *segments_[i]; }
   size_t num_events() const;
 
-  // EventStore interface: scatter/gather with parallel segment scans.
+  // EventStore interface: scatter/gather with parallel segment scans. The
+  // optional ScanContext threads cancellation/deadline into the segment and
+  // morsel loops and pins decoded archive columns (each segment owns its own
+  // decode cache; the archive policy is part of segment_options).
   const EntityCatalog& catalog() const override { return *catalog_; }
-  std::vector<EventView> ExecuteQuery(const DataQuery& query,
-                                      ScanStats* stats) const override;
+  std::vector<EventView> ExecuteQuery(const DataQuery& query, ScanStats* stats,
+                                      const ScanContext* ctx = nullptr) const override;
   // Partition-level fan-out on the caller's pool: every segment plans
   // locally, then all surviving (segment, partition) pairs pool into one
   // morsel queue — finer-grained than the per-segment scatter of
   // ExecuteQuery, so a query whose matches concentrate in one segment still
   // parallelizes.
   std::vector<EventView> ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
-                                              ThreadPool* pool) const override;
+                                              ThreadPool* pool,
+                                              const ScanContext* ctx = nullptr) const override;
   bool SupportsParallelScan() const override { return true; }
+  // Prepared-query plan caches honor the segment options' capacity knob.
+  size_t PlanCacheCapacity() const override {
+    return segments_.empty() ? EventStore::PlanCacheCapacity()
+                             : segments_[0]->PlanCacheCapacity();
+  }
   TimeRange data_time_range() const override { return range_; }
   bool SupportsDaySplit() const override { return false; }  // own parallelism
 

@@ -10,6 +10,10 @@
 #ifndef AIQL_SRC_STORAGE_DATA_QUERY_H_
 #define AIQL_SRC_STORAGE_DATA_QUERY_H_
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -77,6 +81,13 @@ struct ScanStats {
   // Rows whose entity membership probe was a dense-bitmap bit test instead of
   // a hash-set lookup (counted once per row per bitmap stage).
   uint64_t bitmap_probes = 0;
+  // Archive tier (see partition.h). Unlike the counters above these depend on
+  // decode-cache residency, not just the query: a partition whose decoded
+  // columns are still cached from an earlier scan costs nothing and counts
+  // nothing, so repeated scans report smaller values than a cold scan.
+  uint64_t partitions_decoded = 0;  // archived partitions decoded (cache misses)
+  uint64_t archived_bytes = 0;      // encoded bytes read by those decodes
+  uint64_t decoded_bytes = 0;       // column bytes materialized by those decodes
 
   ScanStats& operator+=(const ScanStats& o) {
     events_scanned += o.events_scanned;
@@ -88,8 +99,104 @@ struct ScanStats {
     parallel_morsels += o.parallel_morsels;
     partitions_pruned_entity += o.partitions_pruned_entity;
     bitmap_probes += o.bitmap_probes;
+    partitions_decoded += o.partitions_decoded;
+    archived_bytes += o.archived_bytes;
+    decoded_bytes += o.decoded_bytes;
     return *this;
   }
+};
+
+// Default capacity of a ScanPlanCache (see plan_cache.h); lives here so
+// EventStore::PlanCacheCapacity and DatabaseOptions::plan_cache_capacity can
+// share it without an include cycle.
+inline constexpr size_t kDefaultPlanCacheCapacity = 64;
+
+// Keeps decoded archive columns alive past the scan that produced them.
+// EventViews emitted from an archived partition point into a decode-cache
+// entry (see DecodeCache in partition.h); cache eviction drops only the
+// cache's reference, so any entry registered here stays valid until Clear().
+// The engine parks one ColumnPins per ExecutionSession and clears it after
+// projection — the whole multievent execution consumes views safely even when
+// its working set exceeds the decode-cache capacity. Thread-safe: morsel
+// workers register pins concurrently.
+class ColumnPins {
+ public:
+  void Add(std::shared_ptr<const void> pin) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_.push_back(std::move(pin));
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_.clear();
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pins_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const void>> pins_;
+};
+
+// Per-run context threaded from the execution session into the storage scan
+// loops: the cooperative cancellation flag and run deadline (checked between
+// morsels, never per row) and the decoded-column pin sink. All members are
+// optional; a null/defaulted context scans to completion and leaves decoded
+// columns pinned only by decode-cache residency.
+struct ScanContext {
+  const std::atomic<bool>* cancel = nullptr;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  ColumnPins* pins = nullptr;
+
+  void ArmDeadline(int64_t budget_ms) {
+    if (budget_ms > 0) {
+      deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+      has_deadline = true;
+    }
+  }
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+  bool DeadlineExpired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+  // True when the scan should stop claiming work and return what it has.
+  bool ShouldStop() const { return Cancelled() || DeadlineExpired(); }
+};
+
+// Scan-scoped pin fallback, used by every scan entry point that merges
+// results after scanning: when the caller supplied no pin sink, decoded
+// archive columns must still outlive the entry point's own merge (a scan
+// touching more archived partitions than the decode cache holds would
+// otherwise evict an early partition's columns while its views await the
+// merge). Wraps the caller's context with a local ColumnPins for the
+// enclosing scope's lifetime; contexts that already carry a sink pass
+// through untouched.
+class ScanPinScope {
+ public:
+  explicit ScanPinScope(const ScanContext* caller) {
+    if (caller != nullptr && caller->pins != nullptr) {
+      ctx_ = caller;
+      return;
+    }
+    if (caller != nullptr) {
+      local_ = *caller;
+    }
+    local_.pins = &pins_;
+    ctx_ = &local_;
+  }
+  ScanPinScope(const ScanPinScope&) = delete;
+  ScanPinScope& operator=(const ScanPinScope&) = delete;
+
+  const ScanContext* ctx() const { return ctx_; }
+
+ private:
+  ColumnPins pins_;
+  ScanContext local_;
+  const ScanContext* ctx_ = nullptr;
 };
 
 }  // namespace aiql

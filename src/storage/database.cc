@@ -11,7 +11,8 @@ namespace aiql {
 
 Database::Database(DatabaseOptions options, std::shared_ptr<EntityCatalog> catalog)
     : options_(options),
-      catalog_(catalog != nullptr ? std::move(catalog) : std::make_shared<EntityCatalog>()) {
+      catalog_(catalog != nullptr ? std::move(catalog) : std::make_shared<EntityCatalog>()),
+      decode_cache_(std::make_unique<DecodeCache>(options.decode_cache_partitions)) {
   if (options_.agent_group_size == 0) {
     options_.agent_group_size = 1;
   }
@@ -80,7 +81,55 @@ void Database::Finalize() {
     p->Finalize(options_.build_indexes, options_.layout);
   }
   BuildEntityIndexes();
+  ApplyArchivePolicy();
   finalized_ = true;
+}
+
+void Database::ApplyArchivePolicy() {
+  const bool by_age = options_.archive_after_days >= 0;
+  const bool by_count = options_.archive_max_hot_partitions > 0;
+  if ((!by_age && !by_count) || options_.layout != StorageLayout::kColumnar ||
+      partitions_.empty()) {
+    return;
+  }
+  // A partition re-finalized after post-archive ingest starts hot again; the
+  // stale decode entries of re-archived partitions must not survive either.
+  decode_cache_->Clear();
+  const int64_t newest_day = partitions_.rbegin()->first.first;
+  // Count-watermark: partitions_ is ordered by (day, group), so walking from
+  // the newest end keeps the `archive_max_hot_partitions` most recent ones.
+  size_t kept_hot = 0;
+  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
+    const int64_t age_days = newest_day - it->first.first;
+    bool archive = by_age && age_days >= options_.archive_after_days;
+    if (by_count && kept_hot >= options_.archive_max_hot_partitions) {
+      archive = true;
+    }
+    if (archive) {
+      it->second->Archive();
+    } else {
+      ++kept_hot;
+    }
+  }
+}
+
+size_t Database::num_archived_partitions() const {
+  size_t n = 0;
+  for (const auto& [key, p] : partitions_) {
+    n += p->archived() ? 1 : 0;
+  }
+  return n;
+}
+
+StorageFootprint Database::Footprint() const {
+  StorageFootprint f;
+  f.partitions = partitions_.size();
+  for (const auto& [key, p] : partitions_) {
+    f.archived_partitions += p->archived() ? 1 : 0;
+    f.hot_column_bytes += p->ColumnBytes();
+    f.archived_bytes += p->ArchivedBytes();
+  }
+  return f;
 }
 
 void Database::BuildEntityIndexes() {
@@ -314,18 +363,24 @@ std::optional<ScanPlan> Database::PlanQuery(const DataQuery& q, ScanStats* stats
 }
 
 void Database::ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
-                                    ScanStats* stats) const {
+                                    ScanStats* stats, const ScanContext* ctx) const {
   ++stats->partitions_scanned;
-  plan.survivors[i]->Execute(plan.ArgsFor(i, *catalog_), out, stats);
+  PartitionScanArgs args = plan.ArgsFor(i, *catalog_);
+  args.decode_cache = decode_cache_.get();
+  args.pins = ctx != nullptr ? ctx->pins : nullptr;
+  plan.survivors[i]->Execute(args, out, stats);
 }
 
 void Database::ScanPlannedMorsel(const ScanPlan& plan, const ScanMorsel& m,
-                                 std::vector<EventView>* out, ScanStats* stats) const {
+                                 std::vector<EventView>* out, ScanStats* stats,
+                                 const ScanContext* ctx) const {
   if (m.first) {
     ++stats->partitions_scanned;
   }
-  plan.survivors[m.survivor]->Execute(
-      plan.ArgsFor(m.survivor, *catalog_, m.begin_row, m.end_row), out, stats);
+  PartitionScanArgs args = plan.ArgsFor(m.survivor, *catalog_, m.begin_row, m.end_row);
+  args.decode_cache = decode_cache_.get();
+  args.pins = ctx != nullptr ? ctx->pins : nullptr;
+  plan.survivors[m.survivor]->Execute(args, out, stats);
 }
 
 std::vector<ScanMorsel> BuildScanMorsels(const ScanPlan& plan, uint32_t morsel_rows) {
@@ -337,7 +392,10 @@ std::vector<ScanMorsel> BuildScanMorsels(const ScanPlan& plan, uint32_t morsel_r
   for (size_t i = 0; i < plan.survivors.size(); ++i) {
     const Partition* p = plan.survivors[i];
     auto whole = ScanMorsel{static_cast<uint32_t>(i), 0, UINT32_MAX, /*first=*/true};
-    if (morsel_rows == 0 || p->PrefersPostingScan(subj, obj)) {
+    // Archived partitions stay whole: splitting needs SliceRows' binary
+    // search over start_time, which would force a decode at morsel-build
+    // time — before pruning has proven anyone will scan the partition.
+    if (morsel_rows == 0 || p->archived() || p->PrefersPostingScan(subj, obj)) {
       morsels.push_back(whole);
       continue;
     }
@@ -415,22 +473,31 @@ std::vector<EventView> MergeMorselResults(std::vector<std::vector<EventView>>* s
   return out;
 }
 
-std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats) const {
-  return ExecuteQueryParallel(q, stats, nullptr);
+std::vector<EventView> Database::ExecuteQuery(const DataQuery& q, ScanStats* stats,
+                                              const ScanContext* ctx) const {
+  return ExecuteQueryParallel(q, stats, nullptr, ctx);
 }
 
 std::vector<EventView> Database::ScanWithPlan(const ScanPlan& plan, ScanStats* stats,
-                                              ThreadPool* pool) const {
+                                              ThreadPool* pool, const ScanContext* ctx) const {
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
+  ScanPinScope pin_scope(ctx);
+  ctx = pin_scope.ctx();
   const size_t n = plan.survivors.size();
+  // Cooperative stop (cancellation / run deadline): checked between morsels,
+  // never per row. A stopped scan returns whatever it has — the executor
+  // turns the session state into the user-visible error.
   auto scan_serial = [&] {
     std::vector<EventView> out;
     std::vector<size_t> run_starts;
     run_starts.reserve(n);
     for (size_t i = 0; i < n; ++i) {
+      if (ctx != nullptr && ctx->ShouldStop()) {
+        break;
+      }
       run_starts.push_back(out.size());
-      ScanPlannedPartition(plan, i, &out, st);
+      ScanPlannedPartition(plan, i, &out, st, ctx);
     }
     MergeSortedRuns(&out, &run_starts);
     return out;
@@ -454,32 +521,37 @@ std::vector<EventView> Database::ScanWithPlan(const ScanPlan& plan, ScanStats* s
   std::vector<std::vector<EventView>> slots(morsels.size());
   std::vector<ScanStats> worker_stats(pool->max_participants());
   pool->RunBulk(morsels.size(), [&](size_t worker, size_t m) {
-    ScanPlannedMorsel(plan, morsels[m], &slots[m], &worker_stats[worker]);
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      return;  // claimed but skipped: the queue drains without scanning
+    }
+    ScanPlannedMorsel(plan, morsels[m], &slots[m], &worker_stats[worker], ctx);
   });
   st->parallel_morsels += morsels.size();
   return MergeMorselResults(&slots, worker_stats, st);
 }
 
 std::vector<EventView> Database::ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
-                                                      ThreadPool* pool) const {
+                                                      ThreadPool* pool,
+                                                      const ScanContext* ctx) const {
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
   std::optional<ScanPlan> plan = PlanQuery(q, st);
   if (!plan.has_value()) {
     return {};
   }
-  return ScanWithPlan(*plan, st, pool);
+  return ScanWithPlan(*plan, st, pool, ctx);
 }
 
 std::vector<EventView> Database::ExecuteQueryCached(const DataQuery& q, ScanStats* stats,
                                                     ThreadPool* pool, ScanPlanCache* cache,
-                                                    uint64_t* cache_hits) const {
+                                                    uint64_t* cache_hits,
+                                                    const ScanContext* ctx) const {
   if (cache == nullptr) {
-    return ExecuteQueryParallel(q, stats, pool);
+    return ExecuteQueryParallel(q, stats, pool, ctx);
   }
   std::string key = DataQueryFingerprint(q);
   if (key.empty()) {
-    return ExecuteQueryParallel(q, stats, pool);  // too large to cache
+    return ExecuteQueryParallel(q, stats, pool, ctx);  // too large to cache
   }
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
@@ -505,7 +577,7 @@ std::vector<EventView> Database::ExecuteQueryCached(const DataQuery& q, ScanStat
   if (entry->plan == nullptr) {
     return {};
   }
-  return ScanWithPlan(*entry->plan, st, pool);
+  return ScanWithPlan(*entry->plan, st, pool, ctx);
 }
 
 void Database::ForEachEvent(const std::function<void(const Event&)>& fn) const {

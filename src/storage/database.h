@@ -134,6 +134,29 @@ struct DatabaseOptions {
   // changes performance counters only, never results.
   bool entity_pruning = true;
   bool entity_bitmaps = true;
+  // Archive tier (see partition.h). At Finalize, columnar partitions whose
+  // day is at least archive_after_days older than the newest ingested day
+  // re-encode their columns and decode on demand at scan time; 0 archives
+  // every partition, < 0 disables archiving. Results are identical either
+  // way — archiving trades cold-scan decode time for resident memory.
+  int64_t archive_after_days = -1;
+  // Partition-count watermark: > 0 additionally archives all but the N
+  // newest-day partitions, independent of age. 0 = no watermark.
+  size_t archive_max_hot_partitions = 0;
+  // Capacity (in partitions) of the archived-partition decode cache.
+  size_t decode_cache_partitions = 8;
+  // Capacity (in entries) of the scan-plan caches the prepare/bind/execute
+  // API creates against this database (see plan_cache.h).
+  size_t plan_cache_capacity = kDefaultPlanCacheCapacity;
+};
+
+// Resident-memory report for the archive tier (README's compression table
+// and bench_ablation's resident-bytes ratio).
+struct StorageFootprint {
+  size_t partitions = 0;
+  size_t archived_partitions = 0;
+  size_t hot_column_bytes = 0;  // decoded column (or row-store) bytes resident
+  size_t archived_bytes = 0;    // encoded bytes held by archived partitions
 };
 
 class Database : public EventStore {
@@ -159,12 +182,19 @@ class Database : public EventStore {
   // re-sharding an existing database into MPP segments).
   void AppendRaw(const Event& e);
 
-  // Sorts partitions and builds all indexes. Idempotent.
+  // Sorts partitions, builds all indexes, and applies the archive policy
+  // (archive_after_days / archive_max_hot_partitions). Idempotent.
   void Finalize();
   bool finalized() const { return finalized_; }
 
   size_t num_events() const { return num_events_; }
   size_t num_partitions() const { return partitions_.size(); }
+  size_t num_archived_partitions() const;
+  StorageFootprint Footprint() const;
+
+  // The archived-partition decode cache (internally synchronized; Clear()
+  // makes the next scan of every archived partition cold).
+  DecodeCache& decode_cache() const { return *decode_cache_; }
   TimeRange data_time_range() const override { return data_range_; }
   bool SupportsDaySplit() const override { return options_.scheme == PartitionScheme::kTimeSpace; }
 
@@ -182,9 +212,13 @@ class Database : public EventStore {
   // Executes a data query on the calling thread. Results are sorted by
   // (start_time, id) so that all engines and schedulers produce
   // deterministic, comparable output. Partitions are skipped via scheme keys
-  // and zone maps before any scan.
-  std::vector<EventView> ExecuteQuery(const DataQuery& q,
-                                      ScanStats* stats = nullptr) const override;
+  // and zone maps before any scan. `ctx` (optional) carries the run's
+  // cancellation flag / deadline — checked between partition scans, so a
+  // cancelled session stops after the current morsel instead of finishing
+  // the plan — and the pin sink that keeps decoded archive columns alive for
+  // the caller (see ScanContext).
+  std::vector<EventView> ExecuteQuery(const DataQuery& q, ScanStats* stats = nullptr,
+                                      const ScanContext* ctx = nullptr) const override;
 
   // Morsel-driven parallel execution: plans once, then scans the surviving
   // partitions on `pool`'s workers (calling thread included), each morsel
@@ -194,7 +228,8 @@ class Database : public EventStore {
   // Falls back to the serial scan loop when `pool` is null or fewer than two
   // partitions survive pruning.
   std::vector<EventView> ExecuteQueryParallel(const DataQuery& q, ScanStats* stats,
-                                              ThreadPool* pool) const override;
+                                              ThreadPool* pool,
+                                              const ScanContext* ctx = nullptr) const override;
   bool SupportsParallelScan() const override { return true; }
 
   // Plan-cached execution: looks `q` up in `cache` by constraint fingerprint
@@ -206,13 +241,20 @@ class Database : public EventStore {
   // invalidates the cache (same lifetime rule as returned EventViews).
   std::vector<EventView> ExecuteQueryCached(const DataQuery& q, ScanStats* stats,
                                             ThreadPool* pool, ScanPlanCache* cache,
-                                            uint64_t* cache_hits) const override;
+                                            uint64_t* cache_hits,
+                                            const ScanContext* ctx = nullptr) const override;
+
+  // Prepared-query plan caches against this store honor the configured
+  // capacity.
+  size_t PlanCacheCapacity() const override {
+    return options_.plan_cache_capacity == 0 ? 1 : options_.plan_cache_capacity;
+  }
 
   // The scan phase of an already-computed plan: serial when `pool` is null or
   // fewer than two partitions survived, morsel-parallel otherwise. Shared by
   // ExecuteQueryParallel and the plan-cache hit path.
-  std::vector<EventView> ScanWithPlan(const ScanPlan& plan, ScanStats* stats,
-                                      ThreadPool* pool) const;
+  std::vector<EventView> ScanWithPlan(const ScanPlan& plan, ScanStats* stats, ThreadPool* pool,
+                                      const ScanContext* ctx = nullptr) const;
 
   // The two scan phases, exposed so MppCluster can pool morsels from every
   // segment into one work queue. PlanQuery returns nullopt when the query
@@ -226,9 +268,9 @@ class Database : public EventStore {
   // on the morsel marked `first`.
   std::optional<ScanPlan> PlanQuery(const DataQuery& q, ScanStats* stats) const;
   void ScanPlannedPartition(const ScanPlan& plan, size_t i, std::vector<EventView>* out,
-                            ScanStats* stats) const;
+                            ScanStats* stats, const ScanContext* ctx = nullptr) const;
   void ScanPlannedMorsel(const ScanPlan& plan, const ScanMorsel& m, std::vector<EventView>* out,
-                         ScanStats* stats) const;
+                         ScanStats* stats, const ScanContext* ctx = nullptr) const;
 
   // The distinct day indices covered by ingested data (for time-window
   // partitioned parallel execution).
@@ -241,8 +283,16 @@ class Database : public EventStore {
   // Builds the per-(type, default-attribute) exact hash indexes.
   void BuildEntityIndexes();
 
+  // Applies archive_after_days / archive_max_hot_partitions after all
+  // partitions are finalized.
+  void ApplyArchivePolicy();
+
   DatabaseOptions options_;
   std::shared_ptr<EntityCatalog> catalog_;
+  // Decoded archived partitions, LRU-bounded; mutable because decoding is a
+  // caching detail of const query execution (internally synchronized).
+  // unique_ptr keeps Database movable despite the cache's mutex.
+  mutable std::unique_ptr<DecodeCache> decode_cache_;
   std::map<std::pair<int64_t, uint32_t>, std::unique_ptr<Partition>> partitions_;
   // O(1) partition lookup for the ingest hot path; partitions_ keeps the
   // ordered iteration that ForEachEvent/DayIndices rely on.

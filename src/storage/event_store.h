@@ -34,11 +34,16 @@ class EventStore {
 
   // Executes a data query serially on the calling thread; results sorted by
   // (start_time, id). Views stay valid for the lifetime of the store (until
-  // re-finalization). Must be const and thread-safe: parallel executions
+  // re-finalization); views from *archived* partitions additionally require
+  // decode-cache residency or a ScanContext pin (see ColumnPins in
+  // data_query.h). Must be const and thread-safe: parallel executions
   // (morsel workers, day-split sub-queries, MPP segment scans) call it
-  // concurrently.
-  virtual std::vector<EventView> ExecuteQuery(const DataQuery& query,
-                                              ScanStats* stats) const = 0;
+  // concurrently. `ctx` (optional) threads the run's cancellation flag /
+  // deadline into the scan loops — a stopped scan returns the partial result
+  // it has; the engine surfaces the cancellation — and the decoded-column
+  // pin sink.
+  virtual std::vector<EventView> ExecuteQuery(const DataQuery& query, ScanStats* stats,
+                                              const ScanContext* ctx = nullptr) const = 0;
 
   // Executes a data query using `pool` for intra-store parallelism when the
   // store supports it: pruning-surviving partitions are enumerated into a
@@ -46,9 +51,10 @@ class EventStore {
   // stats are identical to ExecuteQuery (parallel_morsels aside). The default
   // falls back to the serial path; so does any store when `pool` is null.
   virtual std::vector<EventView> ExecuteQueryParallel(const DataQuery& query, ScanStats* stats,
-                                                      ThreadPool* pool) const {
+                                                      ThreadPool* pool,
+                                                      const ScanContext* ctx = nullptr) const {
     (void)pool;
-    return ExecuteQuery(query, stats);
+    return ExecuteQuery(query, stats, ctx);
   }
 
   // True when ExecuteQueryParallel actually fans out internally. The engine
@@ -64,12 +70,18 @@ class EventStore {
   // the plain scan entry points.
   virtual std::vector<EventView> ExecuteQueryCached(const DataQuery& query, ScanStats* stats,
                                                     ThreadPool* pool, ScanPlanCache* cache,
-                                                    uint64_t* cache_hits) const {
+                                                    uint64_t* cache_hits,
+                                                    const ScanContext* ctx = nullptr) const {
     (void)cache;
     (void)cache_hits;
-    return pool != nullptr ? ExecuteQueryParallel(query, stats, pool)
-                           : ExecuteQuery(query, stats);
+    return pool != nullptr ? ExecuteQueryParallel(query, stats, pool, ctx)
+                           : ExecuteQuery(query, stats, ctx);
   }
+
+  // Capacity for the scan-plan caches the prepare/bind/execute API creates
+  // against this store (entries; see ScanPlanCache). Stores expose their own
+  // knob (DatabaseOptions::plan_cache_capacity).
+  virtual size_t PlanCacheCapacity() const { return kDefaultPlanCacheCapacity; }
 
   virtual TimeRange data_time_range() const = 0;
 

@@ -81,7 +81,147 @@ size_t ApplyMembership(uint32_t* rows, size_t n, const T* col,
   return kernels::SelectHashSet(rows, n, col, set, /*negate=*/false);
 }
 
+EventColumnId ColumnIdFor(NumericColumn c) {
+  switch (c) {
+    case NumericColumn::kId:
+      return EventColumnId::kId;
+    case NumericColumn::kSeq:
+      return EventColumnId::kSeq;
+    case NumericColumn::kAgentId:
+      return EventColumnId::kAgentId;
+    case NumericColumn::kStartTime:
+      return EventColumnId::kStartTime;
+    case NumericColumn::kEndTime:
+      return EventColumnId::kEndTime;
+    case NumericColumn::kAmount:
+      return EventColumnId::kAmount;
+    case NumericColumn::kFailureCode:
+      return EventColumnId::kFailureCode;
+  }
+  return EventColumnId::kId;
+}
+
+void DecodeOneColumn(const ArchivedColumns& a, EventColumnId id, EventColumns* out) {
+  const EncodedInts& e = a.cols[static_cast<int>(id)];
+  switch (id) {
+    case EventColumnId::kId:
+      DecodeColumn(e, &out->id);
+      break;
+    case EventColumnId::kSeq:
+      DecodeColumn(e, &out->seq);
+      break;
+    case EventColumnId::kAgentId:
+      DecodeColumn(e, &out->agent_id);
+      break;
+    case EventColumnId::kOp:
+      DecodeColumn(e, &out->op);
+      break;
+    case EventColumnId::kObjectType:
+      DecodeColumn(e, &out->object_type);
+      break;
+    case EventColumnId::kSubjectIdx:
+      DecodeColumn(e, &out->subject_idx);
+      break;
+    case EventColumnId::kObjectIdx:
+      DecodeColumn(e, &out->object_idx);
+      break;
+    case EventColumnId::kStartTime:
+      DecodeColumn(e, &out->start_time);
+      break;
+    case EventColumnId::kEndTime:
+      DecodeColumn(e, &out->end_time);
+      break;
+    case EventColumnId::kAmount:
+      DecodeColumn(e, &out->amount);
+      break;
+    case EventColumnId::kFailureCode:
+      DecodeColumn(e, &out->failure_code);
+      break;
+  }
+}
+
+size_t DecodedColumnBytes(EventColumnId id, size_t rows) {
+  switch (id) {
+    case EventColumnId::kId:
+    case EventColumnId::kSeq:
+    case EventColumnId::kStartTime:
+    case EventColumnId::kEndTime:
+    case EventColumnId::kAmount:
+      return rows * sizeof(int64_t);
+    case EventColumnId::kAgentId:
+    case EventColumnId::kSubjectIdx:
+    case EventColumnId::kObjectIdx:
+    case EventColumnId::kFailureCode:
+      return rows * sizeof(uint32_t);
+    case EventColumnId::kOp:
+    case EventColumnId::kObjectType:
+      return rows * sizeof(uint8_t);
+  }
+  return 0;
+}
+
+void DecodeAllColumns(const ArchivedColumns& a, EventColumns* out) {
+  for (int i = 0; i < kNumEventColumns; ++i) {
+    DecodeOneColumn(a, static_cast<EventColumnId>(i), out);
+  }
+}
+
 }  // namespace
+
+ArchivedColumns EncodeEventColumns(const EventColumns& cols) {
+  ArchivedColumns a;
+  a.count = static_cast<uint32_t>(cols.size());
+  a.cols[static_cast<int>(EventColumnId::kId)] = EncodeColumn(cols.id);
+  a.cols[static_cast<int>(EventColumnId::kSeq)] = EncodeColumn(cols.seq);
+  a.cols[static_cast<int>(EventColumnId::kAgentId)] = EncodeColumn(cols.agent_id);
+  a.cols[static_cast<int>(EventColumnId::kOp)] = EncodeColumn(cols.op);
+  a.cols[static_cast<int>(EventColumnId::kObjectType)] = EncodeColumn(cols.object_type);
+  a.cols[static_cast<int>(EventColumnId::kSubjectIdx)] = EncodeColumn(cols.subject_idx);
+  a.cols[static_cast<int>(EventColumnId::kObjectIdx)] = EncodeColumn(cols.object_idx);
+  a.cols[static_cast<int>(EventColumnId::kStartTime)] = EncodeColumn(cols.start_time);
+  a.cols[static_cast<int>(EventColumnId::kEndTime)] = EncodeColumn(cols.end_time);
+  a.cols[static_cast<int>(EventColumnId::kAmount)] = EncodeColumn(cols.amount);
+  a.cols[static_cast<int>(EventColumnId::kFailureCode)] = EncodeColumn(cols.failure_code);
+  return a;
+}
+
+const EventColumns* DecodedPartition::Ensure(EventColumnMask mask, ScanStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const EventColumnMask missing = static_cast<EventColumnMask>(mask & ~decoded_);
+  if (missing == 0) {
+    return &cols_;
+  }
+  size_t decoded_bytes = 0;
+  size_t archived_bytes = 0;
+  for (int i = 0; i < kNumEventColumns; ++i) {
+    const auto id = static_cast<EventColumnId>(i);
+    if ((missing & ColumnBit(id)) == 0) {
+      continue;
+    }
+    DecodeOneColumn(*src_, id, &cols_);
+    decoded_bytes += DecodedColumnBytes(id, src_->count);
+    archived_bytes += src_->cols[i].EncodedBytes();
+  }
+  decoded_ = static_cast<EventColumnMask>(decoded_ | missing);
+  if (stats != nullptr) {
+    stats->decoded_bytes += decoded_bytes;
+    stats->archived_bytes += archived_bytes;
+  }
+  return &cols_;
+}
+
+std::shared_ptr<DecodedPartition> DecodeCache::Acquire(const Partition* p, ScanStats* stats) {
+  if (std::shared_ptr<DecodedPartition> hit = cache_.Find(p)) {
+    return hit;
+  }
+  auto fresh = std::make_shared<DecodedPartition>(p->archived_columns());
+  std::shared_ptr<DecodedPartition> canonical = cache_.Insert(p, fresh);
+  // Count the decode only on the thread whose entry won the publish race.
+  if (canonical == fresh && stats != nullptr) {
+    ++stats->partitions_decoded;
+  }
+  return canonical;
+}
 
 const char* StorageLayoutName(StorageLayout layout) {
   switch (layout) {
@@ -102,12 +242,38 @@ void Partition::Append(const Event& e) {
 }
 
 void Partition::Rehydrate() {
+  if (archived_ != nullptr) {
+    DecodeAllColumns(*archived_, &cols_);
+    archived_.reset();
+  }
   events_.reserve(cols_.size());
   for (uint32_t i = 0; i < cols_.size(); ++i) {
     events_.push_back(cols_.Materialize(i));
   }
-  cols_.Clear();
+  cols_ = EventColumns();
   finalized_ = false;
+}
+
+void Partition::Archive() {
+  if (archived_ != nullptr || !finalized_columnar() || cols_.size() == 0) {
+    return;
+  }
+  archived_ = std::make_unique<ArchivedColumns>(EncodeEventColumns(cols_));
+  cols_ = EventColumns();  // release the decoded buffers, not just clear them
+}
+
+size_t Partition::ColumnBytes() const {
+  if (archived_ != nullptr) {
+    return 0;
+  }
+  if (finalized_columnar()) {
+    size_t total = 0;
+    for (int i = 0; i < kNumEventColumns; ++i) {
+      total += DecodedColumnBytes(static_cast<EventColumnId>(i), cols_.size());
+    }
+    return total;
+  }
+  return events_.size() * sizeof(Event);
 }
 
 void Partition::Finalize(bool build_indexes, StorageLayout layout) {
@@ -153,6 +319,17 @@ void Partition::Finalize(bool build_indexes, StorageLayout layout) {
 }
 
 void Partition::ForEachEvent(const std::function<void(const Event&)>& fn) const {
+  if (archived_ != nullptr) {
+    // Bulk export (graph/MPP builds): a transient full decode, not routed
+    // through the decode cache — nothing here outlives the call.
+    EventColumns tmp;
+    DecodeAllColumns(*archived_, &tmp);
+    for (uint32_t i = 0; i < tmp.size(); ++i) {
+      Event e = tmp.Materialize(i);
+      fn(e);
+    }
+    return;
+  }
   if (finalized_columnar()) {
     for (uint32_t i = 0; i < cols_.size(); ++i) {
       Event e = cols_.Materialize(i);
@@ -165,9 +342,10 @@ void Partition::ForEachEvent(const std::function<void(const Event&)>& fn) const 
   }
 }
 
-std::pair<size_t, size_t> Partition::TimeSlice(const TimeRange& range) const {
+std::pair<size_t, size_t> Partition::TimeSlice(const EventColumns* cols,
+                                               const TimeRange& range) const {
   if (finalized_columnar()) {
-    const auto& ts = cols_.start_time;
+    const auto& ts = cols->start_time;
     auto lo = std::lower_bound(ts.begin(), ts.end(), range.begin);
     auto hi = std::lower_bound(ts.begin(), ts.end(), range.end);
     return {static_cast<size_t>(lo - ts.begin()), static_cast<size_t>(hi - ts.begin())};
@@ -355,25 +533,56 @@ bool Partition::NeedsFiltering(const PartitionScanArgs& args) const {
   return AgentFilterActive(args.agent_set);
 }
 
-void Partition::EmitRange(size_t lo, size_t hi, std::vector<EventView>* out,
-                          ScanStats* stats) const {
+void Partition::EmitRange(const EventColumns* cols, size_t lo, size_t hi,
+                          std::vector<EventView>* out, ScanStats* stats) const {
   stats->events_matched += hi - lo;
   out->reserve(out->size() + (hi - lo));
   for (size_t i = lo; i < hi; ++i) {
-    out->push_back(EventView(&cols_, static_cast<uint32_t>(i)));
+    out->push_back(EventView(cols, static_cast<uint32_t>(i)));
   }
 }
 
-void Partition::EmitSel(const std::vector<uint32_t>& sel, std::vector<EventView>* out,
-                        ScanStats* stats) const {
+void Partition::EmitSel(const EventColumns* cols, const std::vector<uint32_t>& sel,
+                        std::vector<EventView>* out, ScanStats* stats) const {
   stats->events_matched += sel.size();
   out->reserve(out->size() + sel.size());
   for (uint32_t r : sel) {
-    out->push_back(EventView(&cols_, r));
+    out->push_back(EventView(cols, r));
   }
 }
 
+EventColumnMask Partition::ScanColumnMask(const PartitionScanArgs& args) const {
+  const DataQuery& q = *args.query;
+  const CompiledEventPred& pred = *args.pred;
+  if (!pred.residual.is_true()) {
+    return kAllEventColumns;  // row-at-a-time attribute access
+  }
+  EventColumnMask m = ColumnBit(EventColumnId::kStartTime);
+  if (OpFilterActive(static_cast<OpMask>(q.op_mask & pred.op_mask))) {
+    m |= ColumnBit(EventColumnId::kOp);
+  }
+  if (TypeFilterActive(q.object_type)) {
+    m |= ColumnBit(EventColumnId::kObjectType);
+  }
+  for (const ColumnFilter& f : pred.filters) {
+    if (ColumnFilterActive(f)) {
+      m |= ColumnBit(ColumnIdFor(f.col));
+    }
+  }
+  if (AgentFilterActive(args.agent_set)) {
+    m |= ColumnBit(EventColumnId::kAgentId);
+  }
+  if (args.subject_set != nullptr) {
+    m |= ColumnBit(EventColumnId::kSubjectIdx);
+  }
+  if (args.object_set != nullptr) {
+    m |= ColumnBit(EventColumnId::kObjectIdx);
+  }
+  return m;
+}
+
 void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& args,
+                           const EventColumns* cols, DecodedPartition* dec,
                            std::vector<EventView>* out, ScanStats* stats) const {
   const DataQuery& q = *args.query;
   const CompiledEventPred& pred = *args.pred;
@@ -384,14 +593,14 @@ void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& 
   // Operation mask — skipped when the zone map proves every row qualifies.
   OpMask mask = static_cast<OpMask>(q.op_mask & pred.op_mask);
   if (OpFilterActive(mask)) {
-    n = kernels::SelectOpMask(rows, n, cols_.op.data(), static_cast<uint32_t>(mask));
+    n = kernels::SelectOpMask(rows, n, cols->op.data(), static_cast<uint32_t>(mask));
   }
 
   // Object entity type — partitions usually hold a mix of types. Runs before
   // the object membership probe, so that probe only ever sees rows of the
   // query's object type.
   if (TypeFilterActive(q.object_type)) {
-    n = kernels::SelectEq(rows, n, cols_.object_type.data(), q.object_type);
+    n = kernels::SelectEq(rows, n, cols->object_type.data(), q.object_type);
   }
 
   // Compiled numeric filters, cheapest predicates first; each is skipped when
@@ -405,25 +614,25 @@ void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& 
     }
     switch (f.col) {
       case NumericColumn::kId:
-        n = ApplyColumnFilter(rows, n, cols_.id.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->id.data(), f);
         break;
       case NumericColumn::kSeq:
-        n = ApplyColumnFilter(rows, n, cols_.seq.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->seq.data(), f);
         break;
       case NumericColumn::kAgentId:
-        n = ApplyColumnFilter(rows, n, cols_.agent_id.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->agent_id.data(), f);
         break;
       case NumericColumn::kStartTime:
-        n = ApplyColumnFilter(rows, n, cols_.start_time.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->start_time.data(), f);
         break;
       case NumericColumn::kEndTime:
-        n = ApplyColumnFilter(rows, n, cols_.end_time.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->end_time.data(), f);
         break;
       case NumericColumn::kAmount:
-        n = ApplyColumnFilter(rows, n, cols_.amount.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->amount.data(), f);
         break;
       case NumericColumn::kFailureCode:
-        n = ApplyColumnFilter(rows, n, cols_.failure_code.data(), f);
+        n = ApplyColumnFilter(rows, n, cols->failure_code.data(), f);
         break;
     }
   }
@@ -436,9 +645,9 @@ void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& 
   if (n > 0 && AgentFilterActive(args.agent_set)) {
     if (bm != nullptr && bm->agent.has_value()) {
       stats->bitmap_probes += n;
-      n = kernels::SelectBitmap(rows, n, cols_.agent_id.data(), *bm->agent);
+      n = kernels::SelectBitmap(rows, n, cols->agent_id.data(), *bm->agent);
     } else {
-      n = ApplyMembership(rows, n, cols_.agent_id.data(), *args.agent_set);
+      n = ApplyMembership(rows, n, cols->agent_id.data(), *args.agent_set);
     }
   }
 
@@ -446,31 +655,37 @@ void Partition::VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& 
   if (args.subject_set != nullptr && n > 0) {
     if (bm != nullptr && bm->subject.has_value()) {
       stats->bitmap_probes += n;
-      n = kernels::SelectBitmap(rows, n, cols_.subject_idx.data(), *bm->subject);
+      n = kernels::SelectBitmap(rows, n, cols->subject_idx.data(), *bm->subject);
     } else {
-      n = ApplyMembership(rows, n, cols_.subject_idx.data(), *args.subject_set);
+      n = ApplyMembership(rows, n, cols->subject_idx.data(), *args.subject_set);
     }
   }
   if (args.object_set != nullptr && n > 0) {
     if (bm != nullptr && bm->object.has_value()) {
       stats->bitmap_probes += n;
-      n = kernels::SelectBitmap(rows, n, cols_.object_idx.data(), *bm->object);
+      n = kernels::SelectBitmap(rows, n, cols->object_idx.data(), *bm->object);
     } else {
-      n = ApplyMembership(rows, n, cols_.object_idx.data(), *args.object_set);
+      n = ApplyMembership(rows, n, cols->object_idx.data(), *args.object_set);
     }
   }
 
   // Residual predicate: row-at-a-time over whatever survives.
   if (!pred.residual.is_true() && n > 0) {
     n = kernels::SelectIf(rows, n, [&](uint32_t r) {
-      EventView v(&cols_, r);
+      EventView v(cols, r);
       auto source = [&](std::string_view attr) { return GetEventAttr(v, *args.catalog, attr); };
       return pred.residual.Eval(source);
     });
   }
 
   sel->resize(n);
-  EmitSel(*sel, out, stats);
+  // Archived partitions decoded only the filter columns so far; surviving
+  // rows become EventViews whose consumers may read any attribute, so widen
+  // to the full column set before emitting.
+  if (dec != nullptr && n > 0) {
+    cols = dec->EnsureAll(stats);
+  }
+  EmitSel(cols, *sel, out, stats);
 }
 
 void Partition::Execute(const PartitionScanArgs& args, std::vector<EventView>* out,
@@ -480,7 +695,26 @@ void Partition::Execute(const PartitionScanArgs& args, std::vector<EventView>* o
   if (range.empty() || size() == 0 || range.begin > max_time() || range.end <= min_time()) {
     return;
   }
-  auto [slice_lo, slice_hi] = TimeSlice(range);
+
+  // Archive tier: every pruning opportunity above (zone times, and the plan's
+  // CanMatch before that) ran without touching an encoded byte. A partition
+  // that reaches this point decodes — only the columns the filters need now;
+  // the rest on first emitted row. The decode-cache entry is pinned for the
+  // duration of this call, and registered with the caller's ColumnPins so the
+  // emitted EventViews outlive cache eviction.
+  const EventColumns* cols = &cols_;
+  std::shared_ptr<DecodedPartition> decoded;
+  DecodedPartition* dec = nullptr;
+  if (archived_ != nullptr) {
+    decoded = args.decode_cache->Acquire(this, stats);
+    if (args.pins != nullptr) {
+      args.pins->Add(decoded);
+    }
+    dec = decoded.get();
+    cols = dec->Ensure(ScanColumnMask(args), stats);
+  }
+
+  auto [slice_lo, slice_hi] = TimeSlice(cols, range);
   size_t lo = std::max<size_t>(slice_lo, args.begin_row);
   size_t hi = std::min<size_t>(slice_hi, args.end_row);
   if (lo >= hi) {
@@ -498,7 +732,10 @@ void Partition::Execute(const PartitionScanArgs& args, std::vector<EventView>* o
     // the whole range without materializing a selection vector.
     if (!from_postings && !NeedsFiltering(args)) {
       stats->events_scanned += hi - lo;
-      EmitRange(lo, hi, out, stats);
+      if (dec != nullptr) {
+        cols = dec->EnsureAll(stats);
+      }
+      EmitRange(cols, lo, hi, out, stats);
       return;
     }
     if (!from_postings) {
@@ -507,7 +744,7 @@ void Partition::Execute(const PartitionScanArgs& args, std::vector<EventView>* o
         sel[i - lo] = static_cast<uint32_t>(i);
       }
     }
-    VectorScan(&sel, args, out, stats);
+    VectorScan(&sel, args, cols, dec, out, stats);
     return;
   }
 

@@ -19,17 +19,121 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/data_query.h"
+#include "src/storage/encoding.h"
 #include "src/storage/event.h"
 #include "src/storage/event_view.h"
 #include "src/storage/scan_kernels.h"
 #include "src/storage/zone_map.h"
+#include "src/util/lru_cache.h"
 
 namespace aiql {
+
+// --- archive tier ------------------------------------------------------------
+//
+// Cold partitions trade decoded columns for delta/FOR-encoded ones
+// (ArchivedColumns) after Database::Finalize applies the archive policy.
+// Everything above the column-access seam is unchanged: zone maps, entity
+// blooms, and posting lists stay resident, so CanMatch prunes archived
+// partitions without touching a single encoded byte, and the vectorized scan
+// kernels run over decoded columns exactly as over hot ones. Only a partition
+// that survives pruning decodes — per column, on demand, through the
+// database's LRU-bounded DecodeCache.
+
+// One event column per field, each independently decodable.
+enum class EventColumnId : uint8_t {
+  kId = 0,
+  kSeq = 1,
+  kAgentId = 2,
+  kOp = 3,
+  kObjectType = 4,
+  kSubjectIdx = 5,
+  kObjectIdx = 6,
+  kStartTime = 7,
+  kEndTime = 8,
+  kAmount = 9,
+  kFailureCode = 10,
+};
+
+inline constexpr int kNumEventColumns = 11;
+using EventColumnMask = uint16_t;
+inline constexpr EventColumnMask kAllEventColumns = (1u << kNumEventColumns) - 1;
+
+constexpr EventColumnMask ColumnBit(EventColumnId c) {
+  return static_cast<EventColumnMask>(1u << static_cast<int>(c));
+}
+
+// The delta/FOR re-encoding of one partition's EventColumns (codec choice is
+// adaptive per column; see encoding.h).
+struct ArchivedColumns {
+  uint32_t count = 0;
+  EncodedInts cols[kNumEventColumns];
+
+  size_t EncodedBytes() const {
+    size_t total = 0;
+    for (const EncodedInts& c : cols) {
+      total += c.EncodedBytes();
+    }
+    return total;
+  }
+};
+
+ArchivedColumns EncodeEventColumns(const EventColumns& cols);
+
+class Partition;
+
+// Decode state of one archived partition: columns decompress individually, on
+// first use, into an EventColumns whose vectors are written exactly once and
+// never reallocate — EventViews emitted from a scan point into them, so their
+// addresses must be stable for as long as the entry is alive (cache-resident
+// or pinned; see ColumnPins). Thread-safe: concurrent morsel workers race to
+// Ensure the same columns and the mutex serializes the decodes.
+class DecodedPartition {
+ public:
+  explicit DecodedPartition(const ArchivedColumns* src) : src_(src) {}
+
+  // Decodes every column in `mask` not yet decoded; returns the columns.
+  // Byte counters accrue into `stats` for newly decoded columns only.
+  const EventColumns* Ensure(EventColumnMask mask, ScanStats* stats);
+  const EventColumns* EnsureAll(ScanStats* stats) { return Ensure(kAllEventColumns, stats); }
+
+ private:
+  const ArchivedColumns* src_;
+  std::mutex mu_;
+  EventColumnMask decoded_ = 0;
+  EventColumns cols_;
+};
+
+// LRU cache of decoded archived partitions, owned by the Database (one per
+// database; internally synchronized, so const query paths share it). Capacity
+// is counted in partitions. Eviction drops the cache's reference only —
+// entries are shared_ptr, so in-flight scans and ColumnPins keep theirs
+// alive; EventViews into an evicted, unpinned entry are the caller's bug
+// (the engine pins via the execution session).
+class DecodeCache {
+ public:
+  explicit DecodeCache(size_t capacity) : cache_(capacity) {}
+
+  // Returns the decode entry for `p` (which must be archived), creating it on
+  // a miss (counted into stats->partitions_decoded) and evicting the least
+  // recently used entries beyond capacity.
+  std::shared_ptr<DecodedPartition> Acquire(const Partition* p, ScanStats* stats);
+
+  // Drops every entry (bench/test hook: makes the next scan cold).
+  void Clear() { cache_.Clear(); }
+
+  size_t capacity() const { return cache_.capacity(); }
+  size_t size() const { return cache_.size(); }
+  uint64_t evictions() const { return cache_.evictions(); }
+
+ private:
+  LruCache<const Partition*, std::shared_ptr<DecodedPartition>> cache_;
+};
 
 // Plan-time per-partition entity filters: pushed-down candidate sets
 // translated into dense bitmaps over this partition's zone index ranges, so
@@ -55,6 +159,13 @@ struct PartitionScanArgs {
   const std::unordered_set<uint32_t>* object_set = nullptr;
   const std::unordered_set<AgentId>* agent_set = nullptr;
   const EntityBitmaps* bitmaps = nullptr;
+  // Archive tier: the database's decode cache (required to scan an archived
+  // partition) and the optional pin sink that keeps decoded columns — and
+  // therefore the emitted EventViews — alive past cache eviction. Filled by
+  // Database::ScanPlanned*, never cached inside a ScanPlan (pins are
+  // per-run).
+  DecodeCache* decode_cache = nullptr;
+  ColumnPins* pins = nullptr;
   // Row clamp within the partition; the scan intersects it with the query's
   // time slice. The default covers the whole partition.
   uint32_t begin_row = 0;
@@ -90,7 +201,10 @@ class Partition {
   explicit Partition(PartitionKey key) : key_(key) {}
 
   const PartitionKey& key() const { return key_; }
-  size_t size() const { return finalized_columnar() ? cols_.size() : events_.size(); }
+  size_t size() const {
+    return archived_ != nullptr ? archived_->count
+                                : finalized_columnar() ? cols_.size() : events_.size();
+  }
   StorageLayout layout() const { return layout_; }
 
   // Pre-finalize row buffer; in columnar mode it is released at Finalize().
@@ -105,6 +219,20 @@ class Partition {
   // Execute; ingest after Finalize requires re-finalization.
   void Finalize(bool build_indexes, StorageLayout layout);
   bool finalized() const { return finalized_; }
+
+  // Archive tier: re-encodes the decoded columns (delta/FOR, adaptive per
+  // column; see encoding.h) and releases them. Requires a finalized columnar
+  // partition; no-op otherwise. Zone map and posting lists stay resident, so
+  // pruning and morsel planning never decode. Ingesting into an archived
+  // partition decodes it back (Append/Finalize handle this transparently).
+  void Archive();
+  bool archived() const { return archived_ != nullptr; }
+  const ArchivedColumns* archived_columns() const { return archived_.get(); }
+
+  // Resident decoded column bytes (zero when archived) and encoded archive
+  // bytes (zero when hot), for the storage footprint report.
+  size_t ColumnBytes() const;
+  size_t ArchivedBytes() const { return archived_ != nullptr ? archived_->EncodedBytes() : 0; }
 
   // Zone-map candidate check: could ANY event in this partition satisfy the
   // query? `range` is the query's effective time range, `pred` the compiled
@@ -125,9 +253,14 @@ class Partition {
 
   // Offsets of this partition's rows inside the query time range (the rows
   // Execute would consider before filtering). Used by the morsel planner to
-  // split large partitions into row ranges.
+  // split large partitions into row ranges. Archived partitions answer
+  // conservatively ({0, size()}) rather than decode start_time at plan time —
+  // the morsel planner keeps them whole anyway (see BuildScanMorsels).
   std::pair<uint32_t, uint32_t> SliceRows(const TimeRange& range) const {
-    auto [lo, hi] = TimeSlice(range);
+    if (archived_ != nullptr) {
+      return {0, static_cast<uint32_t>(size())};
+    }
+    auto [lo, hi] = TimeSlice(&cols_, range);
     return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
   }
 
@@ -147,9 +280,12 @@ class Partition {
       const std::unordered_set<AgentId>* agent_set) const;
 
   // Visits every event in storage order (start_time order once finalized).
-  // Columnar partitions materialize rows on the fly.
+  // Columnar partitions materialize rows on the fly; archived partitions
+  // decode transiently (bulk export path — graph/MPP builds).
   void ForEachEvent(const std::function<void(const Event&)>& fn) const;
 
+  // Hot partitions only: views into an archived partition must come from a
+  // scan (which routes through the decode cache).
   EventView ViewAt(uint32_t row) const {
     return finalized_columnar() ? EventView(&cols_, row) : EventView(&events_[row]);
   }
@@ -161,14 +297,19 @@ class Partition {
  private:
   bool finalized_columnar() const { return finalized_ && layout_ == StorageLayout::kColumnar; }
 
-  // Offsets of events within [range) via binary search on start_time.
-  std::pair<size_t, size_t> TimeSlice(const TimeRange& range) const;
+  // Offsets of events within [range) via binary search on start_time. `cols`
+  // is the partition's decoded columns (cols_ for hot partitions, the decode
+  // cache entry's for archived ones); ignored in the row-store layout.
+  std::pair<size_t, size_t> TimeSlice(const EventColumns* cols, const TimeRange& range) const;
 
-  TimestampMs StartTimeAt(size_t row) const {
-    return finalized_columnar() ? cols_.start_time[row] : events_[row].start_time;
-  }
+  // Columns the filter stages of `args` will touch (always includes
+  // start_time for the slice; everything when a residual predicate needs
+  // arbitrary attribute access). Emission widens to kAllEventColumns — the
+  // engine reads any attribute of a returned view.
+  EventColumnMask ScanColumnMask(const PartitionScanArgs& args) const;
 
-  // Rebuilds the row buffer from columns so post-finalize ingest works.
+  // Rebuilds the row buffer from columns (decoding archived ones first) so
+  // post-finalize ingest works.
   void Rehydrate();
 
   // Per-stage activity predicates, shared by NeedsFiltering and VectorScan
@@ -191,16 +332,20 @@ class Partition {
   void ScanOffsetsRows(const std::vector<uint32_t>& offsets, const PartitionScanArgs& args,
                        std::vector<EventView>* out, ScanStats* stats) const;
 
-  // Columnar scan: narrows `sel` one kernel at a time, then emits views.
+  // Columnar scan: narrows `sel` one kernel at a time over `cols`, then emits
+  // views. `dec` is non-null for archived partitions: surviving rows widen
+  // the decode to every column before emission.
   void VectorScan(std::vector<uint32_t>* sel, const PartitionScanArgs& args,
-                  std::vector<EventView>* out, ScanStats* stats) const;
+                  const EventColumns* cols, DecodedPartition* dec, std::vector<EventView>* out,
+                  ScanStats* stats) const;
 
   // The two columnar emit paths (whole range / selection vector): one
   // reserve, and the single place events_matched is accounted, so the fast
   // path and the filtered path cannot drift on stats.
-  void EmitRange(size_t lo, size_t hi, std::vector<EventView>* out, ScanStats* stats) const;
-  void EmitSel(const std::vector<uint32_t>& sel, std::vector<EventView>* out,
-               ScanStats* stats) const;
+  void EmitRange(const EventColumns* cols, size_t lo, size_t hi, std::vector<EventView>* out,
+                 ScanStats* stats) const;
+  void EmitSel(const EventColumns* cols, const std::vector<uint32_t>& sel,
+               std::vector<EventView>* out, ScanStats* stats) const;
 
   // Unions posting lists for the chosen side into sorted offsets clipped to
   // [lo, hi). Returns false when no side qualifies for index access.
@@ -210,7 +355,8 @@ class Partition {
 
   PartitionKey key_;
   std::vector<Event> events_;  // ingest buffer / row storage
-  EventColumns cols_;          // columnar storage (finalized kColumnar only)
+  EventColumns cols_;          // columnar storage (finalized kColumnar, hot)
+  std::unique_ptr<ArchivedColumns> archived_;  // encoded columns (archived)
   ZoneMap zone_;
   StorageLayout layout_ = StorageLayout::kColumnar;
   bool finalized_ = false;

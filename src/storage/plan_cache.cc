@@ -9,24 +9,6 @@ namespace aiql {
 ScanPlanCache::Entry::Entry() = default;
 ScanPlanCache::Entry::~Entry() = default;
 
-std::shared_ptr<const ScanPlanCache::Entry> ScanPlanCache::Find(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second;
-}
-
-std::shared_ptr<const ScanPlanCache::Entry> ScanPlanCache::Insert(
-    std::string key, std::shared_ptr<const Entry> entry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.emplace(std::move(key), std::move(entry));
-  return it->second;
-}
-
-size_t ScanPlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
-
 namespace {
 
 // Serializes a value with a type tag so "1" and 1 cannot collide.

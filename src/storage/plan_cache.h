@@ -16,16 +16,23 @@
 // report identical aggregate statistics. Entries hold Partition pointers and
 // are valid until the database is re-finalized — the same lifetime contract
 // as the EventViews a scan returns; PreparedQuery documents it.
+//
+// The cache is LRU-capped: since the plan began pinning per-survivor entity
+// bitmaps, a long-lived PreparedQuery re-bound across many distinct time
+// windows would otherwise accumulate entries without bound. Capacity comes
+// from the store (EventStore::PlanCacheCapacity, i.e.
+// DatabaseOptions::plan_cache_capacity). Eviction drops the cache's
+// reference only — entries are shared_ptr, so in-flight scans keep theirs
+// alive; ExecStats::plan_cache_evictions surfaces the eviction count.
 #ifndef AIQL_SRC_STORAGE_PLAN_CACHE_H_
 #define AIQL_SRC_STORAGE_PLAN_CACHE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "src/storage/data_query.h"
+#include "src/util/lru_cache.h"
 
 namespace aiql {
 
@@ -33,6 +40,8 @@ struct ScanPlan;  // database.h
 
 class ScanPlanCache {
  public:
+  explicit ScanPlanCache(size_t capacity = kDefaultPlanCacheCapacity) : cache_(capacity) {}
+
   // A cached plan. `plan` is null when planning proved the query matches
   // nothing (caching the short-circuit is what makes repeated no-match
   // fetches free). Immutable once published.
@@ -47,18 +56,24 @@ class ScanPlanCache {
     Entry& operator=(const Entry&) = delete;
   };
 
-  // Returns the entry for `key`, or nullptr. Thread-safe.
-  std::shared_ptr<const Entry> Find(const std::string& key) const;
+  // Returns the entry for `key` (bumping its recency), or nullptr.
+  // Thread-safe.
+  std::shared_ptr<const Entry> Find(const std::string& key) const { return cache_.Find(key); }
 
   // Publishes `entry` under `key` and returns the canonical entry — the
-  // existing one when another thread won the race. Thread-safe.
-  std::shared_ptr<const Entry> Insert(std::string key, std::shared_ptr<const Entry> entry);
+  // existing one when another thread won the race. Evicts least-recently-
+  // used entries beyond capacity. Thread-safe.
+  std::shared_ptr<const Entry> Insert(std::string key, std::shared_ptr<const Entry> entry) {
+    return cache_.Insert(key, std::move(entry));
+  }
 
-  size_t size() const;
+  size_t size() const { return cache_.size(); }
+  size_t capacity() const { return cache_.capacity(); }
+  // Total entries evicted over this cache's lifetime.
+  uint64_t evictions() const { return cache_.evictions(); }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  LruCache<std::string, std::shared_ptr<const Entry>> cache_;
 };
 
 // Canonical serialization of every constraint on `q` — static pattern

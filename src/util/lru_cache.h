@@ -1,0 +1,89 @@
+// Keyed LRU cache shared by the compiled-scan-plan cache (plan_cache.h) and
+// the archived-partition decode cache (partition.h). Both hold shared_ptr
+// values, so eviction only drops the cache's reference — in-flight users
+// keep theirs alive — and both surface a lifetime eviction counter.
+// Internally synchronized; every method is safe to call concurrently.
+#ifndef AIQL_SRC_UTIL_LRU_CACHE_H_
+#define AIQL_SRC_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace aiql {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Returns the value for `key` (bumping its recency), or a default V{}.
+  V Find(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      return V{};
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.value;
+  }
+
+  // Publishes `value` under `key` and returns the canonical value — the
+  // existing one when another thread won the race. Evicts least-recently-
+  // used entries beyond capacity.
+  V Insert(const K& key, V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return it->second.value;
+    }
+    lru_.push_front(key);
+    it = slots_.emplace(key, Slot{std::move(value), lru_.begin()}).first;
+    V canonical = it->second.value;
+    while (slots_.size() > capacity_) {
+      slots_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return canonical;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+    lru_.clear();
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+  // Total entries evicted over this cache's lifetime.
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  struct Slot {
+    V value;
+    typename std::list<K>::iterator pos;  // position in lru_
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  mutable uint64_t evictions_ = 0;
+  // front = most recently used; nodes hold the key so eviction can erase
+  // the map entry without a second lookup structure.
+  mutable std::list<K> lru_;
+  mutable std::unordered_map<K, Slot, Hash> slots_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SRC_UTIL_LRU_CACHE_H_

@@ -6,6 +6,10 @@
 // are the ones the ThreadSanitizer CI job runs.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "src/core/engine.h"
 #include "src/mpp/mpp_cluster.h"
 #include "src/storage/database.h"
@@ -229,6 +233,106 @@ return distinct p1, f2)";
             serial.last_stats().scan.events_scanned);
   EXPECT_EQ(day_split.last_stats().scan.events_matched,
             serial.last_stats().scan.events_matched);
+}
+
+// --- cooperative cancellation in the storage morsel loop ---------------------
+
+TEST(ScanCancellationTest, CancelledContextStopsTheMorselLoop) {
+  // The PR-5 bugfix: before it, a cancelled session still finished every
+  // planned morsel. The flag is checked between morsels, so a scan entered
+  // with the flag already set must touch no partition at all — the prompt-
+  // return guarantee, independent of scan size.
+  Database db{DatabaseOptions{.agent_group_size = 2, .morsel_rows = 64}};
+  FillDatabase(&db);
+  DataQuery q;
+  q.object_type = EntityType::kFile;  // full unfiltered scan: many morsels
+
+  ScanStats full_stats;
+  size_t full = db.ExecuteQuery(q, &full_stats).size();
+  ASSERT_GT(full, 0u);
+
+  std::atomic<bool> cancelled{true};
+  ScanContext ctx;
+  ctx.cancel = &cancelled;
+  ThreadPool pool(3);
+  for (bool parallel : {false, true}) {
+    ScanStats stats;
+    auto events = parallel ? db.ExecuteQueryParallel(q, &stats, &pool, &ctx)
+                           : db.ExecuteQuery(q, &stats, &ctx);
+    EXPECT_TRUE(events.empty()) << (parallel ? "parallel" : "serial");
+    EXPECT_EQ(stats.partitions_scanned, 0u) << (parallel ? "parallel" : "serial");
+    EXPECT_EQ(stats.events_scanned, 0u) << (parallel ? "parallel" : "serial");
+  }
+
+  // Un-cancelled, the same context scans everything.
+  cancelled.store(false);
+  ScanStats ok_stats;
+  EXPECT_EQ(db.ExecuteQueryParallel(q, &ok_stats, &pool, &ctx).size(), full);
+}
+
+TEST(ScanCancellationTest, ExpiredDeadlineStopsTheMorselLoop) {
+  Database db{DatabaseOptions{.agent_group_size = 2, .morsel_rows = 64}};
+  FillDatabase(&db);
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+
+  ScanContext ctx;
+  ctx.ArmDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(ctx.DeadlineExpired());
+  ThreadPool pool(3);
+  ScanStats stats;
+  EXPECT_TRUE(db.ExecuteQueryParallel(q, &stats, &pool, &ctx).empty());
+  EXPECT_EQ(stats.partitions_scanned, 0u);
+}
+
+TEST(ScanCancellationTest, MppMorselLoopHonorsCancellation) {
+  Database source;
+  FillDatabase(&source);
+  MppCluster cluster(3, DistributionPolicy::kSemanticsAware);
+  cluster.BuildFrom(source);
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  std::atomic<bool> cancelled{true};
+  ScanContext ctx;
+  ctx.cancel = &cancelled;
+  ThreadPool pool(3);
+  ScanStats stats;
+  EXPECT_TRUE(cluster.ExecuteQueryParallel(q, &stats, &pool, &ctx).empty());
+  EXPECT_EQ(stats.partitions_scanned, 0u);
+}
+
+TEST(ScanCancellationTest, MidRunCancelSurfacesAsSessionError) {
+  // Engine level: a session cancelled before Run aborts at the first check
+  // with the cancellation diagnostic and a partial-result-free error; a
+  // session cancelled from another thread mid-run either finishes or aborts
+  // with the same diagnostic — never anything else.
+  Database db{DatabaseOptions{.agent_group_size = 2, .morsel_rows = 64}};
+  FillDatabase(&db);
+  const AiqlEngine engine(&db, EngineOptions{.parallelism = 4});
+  const std::string query = R"((from "2017-01-01 00:00" to "2017-01-04 00:00")
+proc p1 read file f1 as evt1
+proc p2 write file f2 as evt2
+with evt1 before evt2
+return distinct p1, f2)";
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  auto bound = prepared.value().Bind();
+  ASSERT_TRUE(bound.ok()) << bound.error();
+
+  ExecutionSession pre;
+  pre.RequestCancel();
+  auto r = bound.value().Run(&pre);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("cancelled"), std::string::npos);
+
+  ExecutionSession mid;
+  std::thread canceller([&] { mid.RequestCancel(); });
+  auto rm = bound.value().Run(&mid);
+  canceller.join();
+  if (!rm.ok()) {
+    EXPECT_NE(rm.error().find("cancelled"), std::string::npos);
+  }
 }
 
 }  // namespace

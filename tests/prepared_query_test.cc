@@ -5,6 +5,8 @@
 // storage layouts and parallelism 1/8.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/core/engine.h"
 #include "src/storage/database.h"
 #include "src/util/rng.h"
@@ -221,6 +223,54 @@ TEST_F(PreparedQueryTest, SessionTimeBudgetOverridesEngine) {
   auto r = bound.value().Run(&session);
   ASSERT_TRUE(r.ok()) << r.error();  // generous budget: still succeeds
   EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+TEST_F(PreparedQueryTest, PlanCacheStaysBoundedUnderDistinctWindowRebinds) {
+  // PR-5 bugfix: the plan cache was an unbounded map, and since the plan
+  // began pinning per-survivor entity bitmaps, a long-lived PreparedQuery
+  // re-bound across many distinct time windows grew without limit. With
+  // capacity 8, a 1000-distinct-window re-bind loop must evict exactly
+  // 1000 - 8 entries (every window is a distinct constraint fingerprint and
+  // a cache miss), leaving at most `capacity` resident.
+  DatabaseOptions opts;
+  opts.plan_cache_capacity = 8;
+  Database db{opts};
+  uint32_t p = db.catalog().InternProcess(1, 1, "/bin/w");
+  uint32_t f = db.catalog().InternFile(1, "/w/f");
+  for (int i = 0; i < 2000; ++i) {
+    db.RecordEvent(1, p, Operation::kWrite, EntityType::kFile, f,
+                   MakeTimestamp(2017, 1, 1) + i * kMinuteMs);
+  }
+  db.Finalize();
+  const AiqlEngine engine(&db, EngineOptions{.parallelism = 1});
+  auto prepared =
+      engine.Prepare("agentid = 1 (from $t0 to $t1) proc p1 write file f1 return p1");
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+
+  const int kWindows = 1000;
+  uint64_t last_evictions = 0;
+  uint64_t hits = 0;
+  for (int i = 0; i < kWindows; ++i) {
+    char t0[32], t1[32];
+    std::snprintf(t0, sizeof(t0), "2017-01-01 %02d:%02d", i / 60, i % 60);
+    std::snprintf(t1, sizeof(t1), "2017-01-01 %02d:%02d", (i + 1) / 60, (i + 1) % 60);
+    auto bound = prepared.value().Bind(ParamSet().Set("t0", t0).Set("t1", t1));
+    ASSERT_TRUE(bound.ok()) << bound.error();
+    auto r = bound.value().Run();
+    ASSERT_TRUE(r.ok()) << r.error();
+    hits += r.value().exec_stats().plan_cache_hits;
+    last_evictions = r.value().exec_stats().plan_cache_evictions;
+  }
+  EXPECT_EQ(hits, 0u);  // every window is a distinct constraint set
+  EXPECT_EQ(last_evictions, static_cast<uint64_t>(kWindows) - 8u);
+
+  // Re-running a recent window still hits; an evicted one replans.
+  auto recent = prepared.value().Bind(
+      ParamSet().Set("t0", "2017-01-01 16:39").Set("t1", "2017-01-01 16:40"));
+  ASSERT_TRUE(recent.ok()) << recent.error();
+  auto rr = recent.value().Run();
+  ASSERT_TRUE(rr.ok()) << rr.error();
+  EXPECT_GT(rr.value().exec_stats().plan_cache_hits, 0u);
 }
 
 // --- randomized property: Prepare-once/Bind-many == fresh Execute ----------

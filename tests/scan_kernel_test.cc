@@ -376,6 +376,123 @@ INSTANTIATE_TEST_SUITE_P(Layouts, MorselEquivalenceTest,
                                       : "RowStore";
                          });
 
+// --- archive tier ------------------------------------------------------------
+
+TEST(ArchiveEquivalenceTest, ArchivedPartitionsMatchHotAcrossParallelism) {
+  // The same stream in three storages: hot columnar (reference), everything
+  // archived, and archived with a decode cache smaller than the partition
+  // count (evictions mid-sweep). Results must be identical at parallelism 1
+  // and 8; archived scans may only ever decode partitions the hot scan would
+  // have scanned.
+  NamedDb reference{"hot", Database{DatabaseOptions{.agent_group_size = 2}}};
+  std::vector<NamedDb> variants;
+  variants.emplace_back(NamedDb{
+      "archived", Database{DatabaseOptions{.agent_group_size = 2, .archive_after_days = 0}}});
+  variants.emplace_back(NamedDb{
+      "archived/tiny-cache",
+      Database{DatabaseOptions{.agent_group_size = 2, .archive_after_days = 0,
+                               .decode_cache_partitions = 1}}});
+  variants.emplace_back(NamedDb{
+      "archived/no-indexes",
+      Database{DatabaseOptions{.agent_group_size = 2, .build_indexes = false,
+                               .archive_after_days = 0}}});
+  FillDatabase(&reference.db);
+  for (NamedDb& v : variants) {
+    FillDatabase(&v.db);
+    EXPECT_GT(v.db.num_archived_partitions(), 0u) << v.name;
+    // Archiving actually shrinks the resident column bytes.
+    StorageFootprint f = v.db.Footprint();
+    EXPECT_EQ(f.hot_column_bytes, 0u) << v.name;
+    EXPECT_GT(f.archived_bytes, 0u) << v.name;
+    EXPECT_GE(reference.db.Footprint().hot_column_bytes, 3 * f.archived_bytes) << v.name;
+  }
+
+  ThreadPool pool8(7);
+  Rng rng(606);
+  uint64_t decoded = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    DataQuery q = RandomQuery(&rng);
+    ScanStats ref_stats;
+    std::vector<int64_t> ref_ids = IdsOf(reference.db.ExecuteQuery(q, &ref_stats));
+    for (NamedDb& v : variants) {
+      // Views from archived partitions are valid while pinned (or cache-
+      // resident); pin per execution exactly as the engine's session does.
+      ColumnPins pins;
+      ScanContext ctx;
+      ctx.pins = &pins;
+      ScanStats serial_stats;
+      EXPECT_EQ(IdsOf(v.db.ExecuteQuery(q, &serial_stats, &ctx)), ref_ids)
+          << v.name << " trial " << trial;
+      ScanStats par_stats;
+      EXPECT_EQ(IdsOf(v.db.ExecuteQueryParallel(q, &par_stats, &pool8, &ctx)), ref_ids)
+          << v.name << " trial " << trial;
+      // The scan work over decoded columns is identical to the hot scan.
+      EXPECT_EQ(serial_stats.events_matched, ref_stats.events_matched)
+          << v.name << " trial " << trial;
+      EXPECT_EQ(par_stats.events_matched, serial_stats.events_matched)
+          << v.name << " trial " << trial;
+      // Decoding only ever happens on partitions the plan would scan.
+      EXPECT_LE(serial_stats.partitions_decoded, serial_stats.partitions_scanned)
+          << v.name << " trial " << trial;
+      decoded += serial_stats.partitions_decoded + par_stats.partitions_decoded;
+      EXPECT_LE(v.db.decode_cache().size(), v.db.options().decode_cache_partitions) << v.name;
+    }
+    EXPECT_EQ(ref_stats.partitions_decoded, 0u);  // hot reference never decodes
+  }
+  EXPECT_GT(decoded, 0u);  // the archive path actually ran somewhere
+}
+
+TEST(ArchiveEquivalenceTest, PrunedArchivedPartitionsAreNeverDecoded) {
+  Database db{DatabaseOptions{.agent_group_size = 2, .archive_after_days = 0}};
+  FillDatabase(&db);
+  ASSERT_GT(db.num_archived_partitions(), 0u);
+  db.decode_cache().Clear();
+
+  // Out-of-window query: every partition dies on the scheme key / zone map,
+  // so the archive tier must not touch a single encoded byte.
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  TimestampMs base = MakeTimestamp(2019, 6, 1);
+  q.time = TimeRange{base, base + kDayMs};
+  ScanStats stats;
+  EXPECT_TRUE(db.ExecuteQuery(q, &stats).empty());
+  EXPECT_EQ(stats.partitions_decoded, 0u);
+  EXPECT_EQ(stats.decoded_bytes, 0u);
+  EXPECT_EQ(db.decode_cache().size(), 0u);
+
+  // Entity pruning works the same without decode: a candidate set from a
+  // foreign host range prunes via the zone summaries.
+  DataQuery q2;
+  q2.object_type = EntityType::kFile;
+  q2.subject_candidates = std::vector<uint32_t>{4000, 4001, 4002, 4003, 4004,
+                                                4005, 4006, 4007, 4008, 4009};
+  ScanStats stats2;
+  EXPECT_TRUE(db.ExecuteQuery(q2, &stats2).empty());
+  EXPECT_EQ(stats2.partitions_decoded, 0u);
+  EXPECT_EQ(db.decode_cache().size(), 0u);
+}
+
+TEST(ArchiveEquivalenceTest, ReFinalizeAfterIngestRearchives) {
+  // Ingest into an archived partition: Append decodes it back, Finalize
+  // rebuilds and re-archives, and queries see the merged data.
+  Database db{DatabaseOptions{.scheme = PartitionScheme::kNone, .archive_after_days = 0}};
+  uint32_t p = db.catalog().InternProcess(1, 1, "/bin/a");
+  uint32_t f = db.catalog().InternFile(1, "/f");
+  TimestampMs base = MakeTimestamp(2017, 1, 1);
+  for (int i = 0; i < 100; ++i) {
+    db.RecordEvent(1, p, Operation::kRead, EntityType::kFile, f, base + i);
+  }
+  db.Finalize();
+  ASSERT_EQ(db.num_archived_partitions(), 1u);
+  db.RecordEvent(1, p, Operation::kWrite, EntityType::kFile, f, base + 50);
+  db.Finalize();
+  EXPECT_EQ(db.num_archived_partitions(), 1u);
+  DataQuery q;
+  q.object_type = EntityType::kFile;
+  ScanStats stats;
+  EXPECT_EQ(db.ExecuteQuery(q, &stats).size(), 101u);
+}
+
 TEST(MorselEquivalenceTest, MatchStraddlingMorselEdgeDeterministic) {
   // One monolithic partition, morsel_rows = 8: every 8th row starts a new
   // morsel, and the matching band [20, 44) straddles three edges. The
